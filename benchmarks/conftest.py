@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark module regenerates one table or figure from the paper's
+evaluation (Section V-VII).  The simulated experiment runs once inside
+``benchmark.pedantic`` (wall-clock timing of the simulation itself), the
+reproduced rows/series are printed in the paper's layout, and the shape
+assertions that make the reproduction meaningful are checked.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def emit(text: str) -> None:
+    """Print a report block so it survives pytest's capture settings."""
+    sys.stdout.write("\n" + text + "\n")
+    sys.stdout.flush()

@@ -1,0 +1,35 @@
+"""Table I — average TCP bandwidth, UDP bandwidth and RTT for the five
+scenarios Linespeed, Dup3, Dup5, Central3, Central5.
+
+Paper values (Mbit/s, Mbit/s, ms):
+
+    linespeed 474 / 278 / 0.181     dup3 122 / 266 / 0.189
+    dup5       72 / 149 / 0.26      central3 145 / 245 / 0.319
+    central5   78 / 156 / 0.415
+"""
+
+from conftest import emit
+
+from repro.analysis import paper_table1_values, render_table1, run_table1
+
+
+def test_table1(benchmark):
+    values = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    emit(render_table1(values, paper=paper_table1_values()))
+    for metric in ("tcp_mbps", "udp_mbps", "rtt_ms"):
+        for scenario, value in values[metric].items():
+            benchmark.extra_info[f"{scenario}.{metric}"] = round(value, 3)
+
+    tcp, udp, rtt = values["tcp_mbps"], values["udp_mbps"], values["rtt_ms"]
+    # security costs bandwidth (Section V-B's "first general observation")
+    assert tcp["linespeed"] > tcp["central3"] > tcp["central5"]
+    assert tcp["linespeed"] > tcp["dup3"] > tcp["dup5"]
+    assert udp["linespeed"] >= udp["central3"] > udp["central5"]
+    # combining beats plain duplication for TCP
+    assert tcp["central3"] > tcp["dup3"]
+    assert tcp["central5"] > tcp["dup5"]
+    # RTT grows monotonically with security level
+    assert (
+        rtt["linespeed"] < rtt["dup3"] < rtt["dup5"]
+        < rtt["central3"] < rtt["central5"]
+    )

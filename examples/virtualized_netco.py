@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""The virtualized NetCo (Section VII): redundancy without hardware.
+
+Instead of buying k routers per hop, the flow is split at the ingress
+edge into VLAN-tagged copies tunnelled over node-disjoint, vendor-
+diverse paths and recombined by an in-band compare at the egress edge.
+
+The example provisions the combiner at k=2 (detection) and k=3
+(prevention), attacks one vendor's transit switch, and shows the
+difference.
+
+Run:  python examples/virtualized_netco.py
+"""
+
+from repro.adversary import PayloadCorruptionBehavior
+from repro.scenarios.virtualized import build_virtualized_scenario
+from repro.traffic.iperf import PathEndpoints, run_ping
+
+
+def attack_run(k: int) -> None:
+    scenario = build_virtualized_scenario(k=k, paths_available=3, seed=9)
+    print(f"k = {k}: flow split over "
+          + ", ".join("->".join(p) for p in scenario.combiner.paths))
+
+    implant = PayloadCorruptionBehavior()
+    implant.attach(scenario.transit(1))
+    print(f"  compromised transit {scenario.transit(1).name}")
+
+    result = run_ping(
+        PathEndpoints(scenario.network, scenario.src, scenario.dst),
+        count=10, interval=1e-3,
+    )
+    scenario.compare_core.flush()
+    stats = scenario.compare_core.stats
+    alarms = scenario.compare_core.alarms
+
+    print(f"  pings completed:      {result.received}/{result.sent}")
+    print(f"  copies released:      {stats.released}")
+    print(f"  copies dying in vote: {stats.expired_unreleased}")
+    print(f"  alarms raised:        {alarms.count()}")
+    if k == 2:
+        print("  -> DETECTION: the tampering is visible (votes never "
+              "complete, alarms fire) but traffic stalls")
+        assert result.received == 0 and alarms.count() > 0
+    else:
+        print("  -> PREVENTION: the honest majority outvotes the "
+              "tampered copies; traffic is unharmed")
+        assert result.received == result.sent
+    print()
+
+
+def main() -> None:
+    print("Virtualized NetCo (Section VII / Figure 9)\n")
+    print("'splitting a flow into two (for detection) or three (for "
+          "prevention) copies along different segments of the path ... "
+          "has a similar effect as in the physical robust combiner'\n")
+    attack_run(k=2)
+    attack_run(k=3)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""``python -m repro`` — regenerate the paper's experiments from the CLI."""
+
+import sys
+
+from repro.analysis.cli import main
+
+sys.exit(main())

@@ -1,0 +1,159 @@
+"""Adversarial router behaviours (the Section II threat model).
+
+A compromised router "can behave arbitrarily, e.g., completely ignore the
+installed OpenFlow match-action rules".  We model this by attaching an
+:class:`AdversarialBehavior` to an :class:`~repro.openflow.switch.
+OpenFlowSwitch`; the behaviour runs *instead of* the normal match-action
+pipeline and may forward, reroute, mirror, rewrite, drop, replay or
+fabricate packets at will.
+
+Behaviours that only want to tamper with *some* packets use a selector
+predicate and fall back to :meth:`AdversarialBehavior.forward_normally`,
+which replays the switch's real pipeline — a stealthy attacker behaves
+correctly most of the time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List
+
+from repro.net.addresses import IpAddress, MacAddress
+from repro.net.packet import IP_PROTO_ICMP, IP_PROTO_TCP, IP_PROTO_UDP, Packet
+from repro.openflow.switch import OpenFlowSwitch
+
+Selector = Callable[[Packet], bool]
+
+
+# ----------------------------------------------------------------------
+# selector factories
+# ----------------------------------------------------------------------
+def match_all() -> Selector:
+    return lambda packet: True
+
+
+def match_none() -> Selector:
+    return lambda packet: False
+
+
+def match_dst_mac(mac: MacAddress) -> Selector:
+    target = MacAddress(mac)
+    return lambda packet: packet.eth.dst == target
+
+
+def match_src_mac(mac: MacAddress) -> Selector:
+    target = MacAddress(mac)
+    return lambda packet: packet.eth.src == target
+
+
+def match_dst_ip(ip: IpAddress) -> Selector:
+    target = IpAddress(ip)
+    return lambda packet: packet.ip is not None and packet.ip.dst == target
+
+
+def match_proto(proto: int) -> Selector:
+    return lambda packet: packet.ip is not None and packet.ip.proto == proto
+
+
+def match_udp() -> Selector:
+    return match_proto(IP_PROTO_UDP)
+
+
+def match_tcp() -> Selector:
+    return match_proto(IP_PROTO_TCP)
+
+
+def match_icmp() -> Selector:
+    return match_proto(IP_PROTO_ICMP)
+
+
+def match_any_of(selectors: Iterable[Selector]) -> Selector:
+    selector_list = list(selectors)
+    return lambda packet: any(s(packet) for s in selector_list)
+
+
+def match_all_of(selectors: Iterable[Selector]) -> Selector:
+    selector_list = list(selectors)
+    return lambda packet: all(s(packet) for s in selector_list)
+
+
+# ----------------------------------------------------------------------
+# behaviour base
+# ----------------------------------------------------------------------
+class AdversarialBehavior:
+    """Base class.  Subclasses implement :meth:`handle`."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name or type(self).__name__
+        self.packets_seen = 0
+        self.packets_tampered = 0
+
+    def attach(self, switch: OpenFlowSwitch) -> None:
+        """Install this behaviour on ``switch``."""
+        switch.behavior = self
+
+    def handle(self, switch: OpenFlowSwitch, packet: Packet, in_port_no: int) -> bool:
+        """Decide the packet's fate.
+
+        Returns True if the behaviour fully handled the packet (including
+        the choice to drop it); False to fall through to the switch's
+        normal pipeline.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # helpers for subclasses
+    # ------------------------------------------------------------------
+    @staticmethod
+    def forward_normally(
+        switch: OpenFlowSwitch, packet: Packet, in_port_no: int
+    ) -> bool:
+        """Run the switch's genuine match-action pipeline on the packet.
+
+        Returns True if a rule forwarded it, False on table miss (the
+        packet is dropped: an adversarial router has no controller to ask).
+        """
+        entry = switch.table.lookup(packet, in_port_no, switch.sim.now)
+        if entry is None or not entry.actions:
+            return False
+        switch.apply_actions(packet, entry.actions, in_port_no)
+        return True
+
+    @staticmethod
+    def emit(switch: OpenFlowSwitch, packet: Packet, out_port_no: int) -> None:
+        """Send a packet out of a specific port, no questions asked."""
+        port = switch.ports.get(out_port_no)
+        if port is not None and port.is_wired:
+            port.send(packet.copy())
+
+    def trace_tamper(self, switch: OpenFlowSwitch, action: str, packet: Packet) -> None:
+        self.packets_tampered += 1
+        switch.trace("adversary.tamper", behavior=self.name, action=action, packet=packet)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(seen={self.packets_seen}, tampered={self.packets_tampered})"
+
+
+class BenignBehavior(AdversarialBehavior):
+    """A 'compromised' router that currently behaves perfectly.
+
+    Useful as a control in experiments and to model a dormant implant.
+    """
+
+    def handle(self, switch: OpenFlowSwitch, packet: Packet, in_port_no: int) -> bool:
+        self.packets_seen += 1
+        return self.forward_normally(switch, packet, in_port_no)
+
+
+class CompositeBehavior(AdversarialBehavior):
+    """Chain several behaviours; the first that handles a packet wins."""
+
+    def __init__(self, behaviors: List[AdversarialBehavior], name: str = "") -> None:
+        super().__init__(name or "composite")
+        self.behaviors = list(behaviors)
+
+    def handle(self, switch: OpenFlowSwitch, packet: Packet, in_port_no: int) -> bool:
+        self.packets_seen += 1
+        for behavior in self.behaviors:
+            if behavior.handle(switch, packet, in_port_no):
+                return True
+        return False

@@ -1,0 +1,89 @@
+"""Mirroring attack (threat 2): duplicate packets toward an exfiltration
+point.
+
+"An adversarial router can duplicate a packet, and e.g., send one to the
+correct and one to an incorrect port."  The Section VI case study uses
+exactly this: a malicious aggregation switch mirrors firewall-bound
+packets to a core switch and, additionally, blackholes the victim's
+return traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.adversary.behaviors import AdversarialBehavior, Selector, match_all
+from repro.net.packet import Packet
+from repro.openflow.switch import OpenFlowSwitch
+
+
+class MirrorBehavior(AdversarialBehavior):
+    """Forward selected packets normally *and* copy them to ``mirror_port``."""
+
+    def __init__(
+        self,
+        mirror_port: int,
+        selector: Optional[Selector] = None,
+        forward_original: bool = True,
+        name: str = "",
+    ) -> None:
+        super().__init__(name or "mirror")
+        self.mirror_port = mirror_port
+        self.selector = selector or match_all()
+        self.forward_original = forward_original
+        self.mirrored = 0
+
+    def handle(self, switch: OpenFlowSwitch, packet: Packet, in_port_no: int) -> bool:
+        self.packets_seen += 1
+        if not self.selector(packet):
+            return self.forward_normally(switch, packet, in_port_no)
+        self.trace_tamper(switch, "mirror", packet)
+        self.emit(switch, packet, self.mirror_port)
+        self.mirrored += 1
+        if self.forward_original:
+            self.forward_normally(switch, packet, in_port_no)
+        return True
+
+
+class MirrorAndDropBehavior(AdversarialBehavior):
+    """The Section VI case-study attacker, in one behaviour.
+
+    * packets matching ``mirror_selector`` are mirrored to ``mirror_port``
+      (and still forwarded normally, so the attack stays stealthy);
+    * packets matching ``drop_selector`` are silently discarded.
+    """
+
+    def __init__(
+        self,
+        mirror_port: int,
+        mirror_selector: Selector,
+        drop_selector: Selector,
+        mirror_in_ports: Optional[frozenset] = None,
+        name: str = "",
+    ) -> None:
+        super().__init__(name or "mirror-and-drop")
+        self.mirror_port = mirror_port
+        self.mirror_selector = mirror_selector
+        self.drop_selector = drop_selector
+        # Restrict mirroring to packets entering on these ports (e.g.
+        # only the edge-facing side), so copies coming back from the
+        # mirror target are not mirrored again in a loop.
+        self.mirror_in_ports = mirror_in_ports
+        self.mirrored = 0
+        self.dropped = 0
+
+    def handle(self, switch: OpenFlowSwitch, packet: Packet, in_port_no: int) -> bool:
+        self.packets_seen += 1
+        if self.drop_selector(packet):
+            self.dropped += 1
+            self.trace_tamper(switch, "drop", packet)
+            return True
+        if self.mirror_selector(packet) and (
+            self.mirror_in_ports is None or in_port_no in self.mirror_in_ports
+        ):
+            self.mirrored += 1
+            self.trace_tamper(switch, "mirror", packet)
+            self.emit(switch, packet, self.mirror_port)
+            self.forward_normally(switch, packet, in_port_no)
+            return True
+        return self.forward_normally(switch, packet, in_port_no)

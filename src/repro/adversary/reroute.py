@@ -1,0 +1,69 @@
+"""Rerouting attack (threat 1): forward packets to the *wrong* port.
+
+"An adversarial router can forward a packet to the wrong port (e.g.,
+breaking logical isolations)" — the Figure 1 datacenter scenario, where
+traffic that must pass the firewall is steered around it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.adversary.behaviors import AdversarialBehavior, Selector, match_all
+from repro.net.packet import Packet
+from repro.openflow.switch import OpenFlowSwitch
+
+
+class RerouteBehavior(AdversarialBehavior):
+    """Send selected packets out ``wrong_port`` instead of their route."""
+
+    def __init__(
+        self,
+        wrong_port: int,
+        selector: Optional[Selector] = None,
+        name: str = "",
+    ) -> None:
+        super().__init__(name or "reroute")
+        self.wrong_port = wrong_port
+        self.selector = selector or match_all()
+
+    def handle(self, switch: OpenFlowSwitch, packet: Packet, in_port_no: int) -> bool:
+        self.packets_seen += 1
+        if not self.selector(packet):
+            return self.forward_normally(switch, packet, in_port_no)
+        self.trace_tamper(switch, "reroute", packet)
+        self.emit(switch, packet, self.wrong_port)
+        return True
+
+
+class PortSwapBehavior(AdversarialBehavior):
+    """Remap the correct egress port through a permutation.
+
+    Models a subverted crossbar: the router computes the right forwarding
+    decision, then the backdoor swaps output ports pairwise.
+    """
+
+    def __init__(self, port_map: Dict[int, int], name: str = "") -> None:
+        super().__init__(name or "port-swap")
+        self.port_map = dict(port_map)
+
+    def handle(self, switch: OpenFlowSwitch, packet: Packet, in_port_no: int) -> bool:
+        self.packets_seen += 1
+        entry = switch.table.lookup(packet, in_port_no, switch.sim.now)
+        if entry is None or not entry.actions:
+            return False
+        from repro.openflow.actions import Output
+
+        packet = packet.copy()
+        swapped = False
+        for action in entry.actions:
+            if isinstance(action, Output) and action.port in self.port_map:
+                self.emit(switch, packet, self.port_map[action.port])
+                swapped = True
+            elif isinstance(action, Output):
+                self.emit(switch, packet, action.port)
+            else:
+                action.apply(packet)
+        if swapped:
+            self.trace_tamper(switch, "port-swap", packet)
+        return True

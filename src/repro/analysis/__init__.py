@@ -1,0 +1,51 @@
+"""Experiment records, runners and plain-text reporting."""
+
+from repro.analysis.records import (
+    ExperimentRecord,
+    MeasurementRow,
+    PAPER_TABLE1,
+    paper_value,
+)
+from repro.analysis.monitor import BranchHealth, HealthMonitor, SEVERITIES
+from repro.analysis.report import (
+    format_table,
+    render_record,
+    render_series,
+    render_table1,
+)
+from repro.analysis.runners import (
+    ALL_SCENARIOS,
+    TABLE1_SCENARIOS,
+    jitter_params,
+    paper_table1_values,
+    run_fig4_tcp,
+    run_fig5_udp,
+    run_fig6_loss_correlation,
+    run_fig7_rtt,
+    run_fig8_jitter,
+    run_table1,
+)
+
+__all__ = [
+    "ExperimentRecord",
+    "MeasurementRow",
+    "PAPER_TABLE1",
+    "paper_value",
+    "BranchHealth",
+    "HealthMonitor",
+    "SEVERITIES",
+    "format_table",
+    "render_record",
+    "render_series",
+    "render_table1",
+    "ALL_SCENARIOS",
+    "TABLE1_SCENARIOS",
+    "jitter_params",
+    "paper_table1_values",
+    "run_fig4_tcp",
+    "run_fig5_udp",
+    "run_fig6_loss_correlation",
+    "run_fig7_rtt",
+    "run_fig8_jitter",
+    "run_table1",
+]

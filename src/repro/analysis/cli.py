@@ -1,0 +1,149 @@
+"""Command-line experiment runner: ``python -m repro <experiment>``.
+
+Regenerates any table or figure of the paper without going through
+pytest.  Useful for quick exploration and for recording results:
+
+    python -m repro table1
+    python -m repro fig6 --quick
+    python -m repro casestudy
+    python -m repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.analysis.report import render_record, render_series, render_table1
+from repro.analysis.runners import (
+    paper_table1_values,
+    run_fig4_tcp,
+    run_fig5_udp,
+    run_fig6_loss_correlation,
+    run_fig7_rtt,
+    run_fig8_jitter,
+    run_table1,
+)
+
+
+def _cmd_table1(quick: bool) -> None:
+    kwargs = dict(duration_tcp=0.06, duration_udp=0.04, ping_count=20,
+                  repetitions=1) if quick else {}
+    print(render_table1(run_table1(**kwargs), paper=paper_table1_values()))
+
+
+def _cmd_fig4(quick: bool) -> None:
+    record = run_fig4_tcp(duration=0.06 if quick else 0.15,
+                          repetitions=1 if quick else 2)
+    print(render_record(record))
+
+
+def _cmd_fig5(quick: bool) -> None:
+    record = run_fig5_udp(duration=0.04 if quick else 0.08,
+                          iterations=6 if quick else 8)
+    print(render_record(record))
+
+
+def _cmd_fig6(quick: bool) -> None:
+    offered = (60, 180, 230, 270, 350) if quick else (
+        60, 120, 180, 210, 230, 250, 270, 300, 350)
+    points = run_fig6_loss_correlation(offered_mbps=offered,
+                                       duration=0.04 if quick else 0.08)
+    print(render_series("Figure 6: Central3 goodput", "offered Mbit/s",
+                        "goodput Mbit/s", [(o, round(g, 1)) for o, g, _ in points]))
+    print(render_series("Figure 6: Central3 loss", "offered Mbit/s",
+                        "loss rate", [(o, round(l, 4)) for o, _, l in points]))
+
+
+def _cmd_fig7(quick: bool) -> None:
+    record = run_fig7_rtt(count=20 if quick else 50,
+                          sequences=1 if quick else 3)
+    print(render_record(record))
+
+
+def _cmd_fig8(quick: bool) -> None:
+    sizes = (128, 512, 1470) if quick else (128, 256, 512, 1024, 1470)
+    series = run_fig8_jitter(payload_sizes=sizes,
+                             repetitions=1 if quick else 2)
+    for scenario, points in series.items():
+        print(render_series(f"Figure 8 — {scenario}", "payload B",
+                            "jitter ms", [(s, round(j, 5)) for s, j in points]))
+
+
+def _cmd_casestudy(quick: bool) -> None:
+    from repro.analysis.report import format_table
+    from repro.scenarios.datacenter import DatacenterCaseStudy
+
+    study = DatacenterCaseStudy(seed=1, echo_count=10)
+    rows = []
+    for result in (study.run_baseline(), study.run_attack(), study.run_protected()):
+        rows.append([
+            result.scenario,
+            str(result.requests_sent),
+            str(result.requests_at_fw1),
+            str(result.responses_at_vm1),
+            str(result.screening.strays),
+        ])
+    print("Section VI case study")
+    print(format_table(["scenario", "sent", "req@fw1", "resp@vm1", "strays"], rows))
+
+
+def _cmd_virtualized(quick: bool) -> None:
+    from repro.adversary import PayloadCorruptionBehavior
+    from repro.scenarios.virtualized import build_virtualized_scenario
+    from repro.traffic.iperf import PathEndpoints, run_ping
+
+    for k in (2, 3):
+        scenario = build_virtualized_scenario(k=k, paths_available=3, seed=1)
+        PayloadCorruptionBehavior().attach(scenario.transit(1))
+        result = run_ping(
+            PathEndpoints(scenario.network, scenario.src, scenario.dst),
+            count=10, interval=1e-3,
+        )
+        scenario.compare_core.flush()
+        verdict = "PREVENTED" if result.received == result.sent else "DETECTED"
+        print(f"virtualized k={k} + corrupt vendor: "
+              f"{result.received}/{result.sent} pings, "
+              f"{scenario.compare_core.alarms.count()} alarms -> {verdict}")
+
+
+COMMANDS: Dict[str, Callable[[bool], None]] = {
+    "table1": _cmd_table1,
+    "fig4": _cmd_fig4,
+    "fig5": _cmd_fig5,
+    "fig6": _cmd_fig6,
+    "fig7": _cmd_fig7,
+    "fig8": _cmd_fig8,
+    "casestudy": _cmd_casestudy,
+    "virtualized": _cmd_virtualized,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the NetCo paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(COMMANDS) + ["all"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="shorter durations / fewer repetitions",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(COMMANDS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.time()
+        COMMANDS[name](args.quick)
+        print(f"[{name} finished in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

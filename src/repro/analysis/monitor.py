@@ -1,0 +1,137 @@
+"""Operator-facing health monitoring over NetCo's alarm stream.
+
+The paper's compare "raises an alarm to the network administrator";
+:class:`HealthMonitor` is the administrator's side of that: it follows
+one or more alarm sinks, keeps per-branch health state, and measures
+**detection latency** — how long after a compromise begins the first
+alarm fires — which the MTTD benchmark reports per attack type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.alarms import (
+    ALARM_DOS_SUSPECTED,
+    ALARM_MINORITY_DIVERGENCE,
+    ALARM_ROUTER_UNAVAILABLE,
+    ALARM_SINGLE_SOURCE_PACKET,
+    ALARM_SPOOFED_BRANCH,
+    Alarm,
+    AlarmSink,
+)
+
+#: alarm kind -> operator severity
+SEVERITIES = {
+    ALARM_SINGLE_SOURCE_PACKET: "warning",
+    ALARM_MINORITY_DIVERGENCE: "warning",
+    ALARM_SPOOFED_BRANCH: "critical",
+    ALARM_DOS_SUSPECTED: "critical",
+    ALARM_ROUTER_UNAVAILABLE: "critical",
+}
+
+
+@dataclass
+class BranchHealth:
+    """Rolling view of one untrusted branch."""
+
+    branch: int
+    alarms: int = 0
+    first_alarm_at: Optional[float] = None
+    last_alarm_at: Optional[float] = None
+    kinds: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def suspect(self) -> bool:
+        return self.alarms > 0
+
+    @property
+    def worst_severity(self) -> str:
+        if any(SEVERITIES.get(kind) == "critical" for kind in self.kinds):
+            return "critical"
+        if self.kinds:
+            return "warning"
+        return "healthy"
+
+
+class HealthMonitor:
+    """Aggregate one or more alarm sinks into operator state."""
+
+    def __init__(self) -> None:
+        self._branches: Dict[int, BranchHealth] = {}
+        self._unattributed: List[Alarm] = []
+        self._seen: int = 0
+        self._sinks: List[AlarmSink] = []
+        self._seen_per_sink: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def watch(self, sink: AlarmSink) -> None:
+        """Follow a sink (poll-style: call :meth:`refresh` to ingest)."""
+        self._sinks.append(sink)
+
+    def refresh(self) -> int:
+        """Ingest alarms raised since the last refresh; returns count."""
+        new = 0
+        for sink in self._sinks:
+            for alarm in sink.alarms[self._per_sink_seen(sink):]:
+                self._ingest(alarm)
+                new += 1
+            self._seen_per_sink[id(sink)] = len(sink.alarms)
+        return new
+
+    def _per_sink_seen(self, sink: AlarmSink) -> int:
+        return self._seen_per_sink.get(id(sink), 0)
+
+    def _ingest(self, alarm: Alarm) -> None:
+        self._seen += 1
+        if alarm.branch is None:
+            self._unattributed.append(alarm)
+            return
+        health = self._branches.setdefault(alarm.branch, BranchHealth(alarm.branch))
+        health.alarms += 1
+        health.kinds[alarm.kind] = health.kinds.get(alarm.kind, 0) + 1
+        if health.first_alarm_at is None:
+            health.first_alarm_at = alarm.time
+        health.last_alarm_at = alarm.time
+
+    # ------------------------------------------------------------------
+    def branch(self, branch: int) -> BranchHealth:
+        return self._branches.get(branch, BranchHealth(branch))
+
+    def suspects(self) -> List[int]:
+        """Branches with at least one alarm, worst first."""
+        order = {"critical": 0, "warning": 1, "healthy": 2}
+        suspect = [h for h in self._branches.values() if h.suspect]
+        suspect.sort(key=lambda h: (order[h.worst_severity], -h.alarms))
+        return [h.branch for h in suspect]
+
+    def detection_latency(self, compromise_at: float) -> Optional[float]:
+        """Time from compromise onset to the first alarm (any branch)."""
+        first_times = [
+            h.first_alarm_at
+            for h in self._branches.values()
+            if h.first_alarm_at is not None and h.first_alarm_at >= compromise_at
+        ]
+        first_times += [
+            a.time for a in self._unattributed if a.time >= compromise_at
+        ]
+        if not first_times:
+            return None
+        return min(first_times) - compromise_at
+
+    def summary(self) -> str:
+        """One-line-per-branch operator report."""
+        if not self._branches and not self._unattributed:
+            return "all branches healthy (no alarms)"
+        lines = []
+        for branch in sorted(self._branches):
+            health = self._branches[branch]
+            kinds = ", ".join(f"{k}x{c}" for k, c in sorted(health.kinds.items()))
+            lines.append(
+                f"branch {branch}: {health.worst_severity.upper()} "
+                f"({health.alarms} alarms: {kinds})"
+            )
+        if self._unattributed:
+            lines.append(f"unattributed alarms: {len(self._unattributed)}")
+        return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Plain-text rendering of experiment records (the bench output)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.records import ExperimentRecord
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]], indent: str = "  "
+) -> str:
+    """Monospace table with column auto-sizing."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    header = indent + "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append(indent + "  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            indent + "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def render_record(record: ExperimentRecord) -> str:
+    """Render one experiment with measured-vs-paper columns."""
+    headers = ["scenario", "metric", "measured", "paper", "ratio"]
+    rows: List[List[str]] = []
+    for row in record.rows:
+        paper = f"{row.paper_value:g}" if row.paper_value is not None else "-"
+        ratio = (
+            f"{row.ratio_to_paper:.2f}x" if row.ratio_to_paper is not None else "-"
+        )
+        rows.append(
+            [row.scenario, f"{row.metric} ({row.unit})", f"{row.value:g}", paper, ratio]
+        )
+    title = f"== {record.experiment}: {record.description} =="
+    return title + "\n" + format_table(headers, rows)
+
+
+def render_table1(
+    values: Dict[str, Dict[str, float]],
+    paper: Optional[Dict[str, Dict[str, float]]] = None,
+) -> str:
+    """Render in the layout of the paper's Table I.
+
+    ``values[metric][scenario]`` -> measured number.  Metrics are the
+    Table I rows: ``tcp_mbps``, ``udp_mbps``, ``rtt_ms``.
+    """
+    scenarios = ["linespeed", "dup3", "dup5", "central3", "central5"]
+    metric_labels = {
+        "tcp_mbps": "avg tcp bandwidth in Mbits/s",
+        "udp_mbps": "avg udp bandwidth in Mbits/s",
+        "rtt_ms": "avg RTT in ms",
+    }
+    headers = [""] + [s.capitalize() for s in scenarios]
+    rows = []
+    for metric, label in metric_labels.items():
+        row = [label]
+        for scenario in scenarios:
+            value = values.get(metric, {}).get(scenario)
+            cell = f"{value:.3g}" if value is not None else "-"
+            if paper is not None:
+                ref = paper.get(metric, {}).get(scenario)
+                if ref is not None:
+                    cell += f" ({ref:g})"
+            row.append(cell)
+        rows.append(row)
+    note = "  (measured, paper value in parentheses)" if paper else ""
+    return "TABLE I - AVERAGE MEASUREMENT RESULTS" + note + "\n" + format_table(
+        headers, rows
+    )
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    y_label: str,
+    points: Sequence[tuple],
+) -> str:
+    """Render a figure's data series as a two-column table."""
+    rows = [[f"{x:g}", f"{y:g}"] for x, y in points]
+    return f"== {title} ==\n" + format_table([x_label, y_label], rows)

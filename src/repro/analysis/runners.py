@@ -1,0 +1,240 @@
+"""Experiment runners: one function per table/figure of the paper.
+
+Shared between the benchmark suite (``benchmarks/``) and the examples so
+the exact workloads that regenerate each result live in one place.
+Durations are scaled down from the paper's 10-second iperf runs to keep
+the suite fast; throughput is a rate, so the scaling preserves shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.records import ExperimentRecord, paper_value
+from repro.scenarios.testbed import Testbed, TestbedParams, build_testbed
+from repro.traffic.iperf import (
+    PathEndpoints,
+    find_max_udp_rate,
+    run_ping,
+    run_tcp_flow,
+    run_udp_flow,
+)
+
+TABLE1_SCENARIOS = ("linespeed", "dup3", "dup5", "central3", "central5")
+ALL_SCENARIOS = ("linespeed", "dup3", "dup5", "central3", "central5", "pox3")
+
+
+def _fresh_path(variant: str, seed: int, params: Optional[TestbedParams]) -> PathEndpoints:
+    return build_testbed(variant, params=params, seed=seed).path()
+
+
+# ----------------------------------------------------------------------
+# Figure 4: TCP throughput
+# ----------------------------------------------------------------------
+def run_fig4_tcp(
+    scenarios: Tuple[str, ...] = ALL_SCENARIOS,
+    duration: float = 0.15,
+    repetitions: int = 2,
+    seed: int = 1,
+    params: Optional[TestbedParams] = None,
+) -> ExperimentRecord:
+    """TCP bulk throughput per scenario, alternating directions as the
+    paper's 10-forward + 10-reverse design does."""
+    record = ExperimentRecord("Figure 4", "TCP throughput")
+    for variant in scenarios:
+        samples = []
+        for rep in range(repetitions):
+            testbed = build_testbed(variant, params=params, seed=seed + rep)
+            path = testbed.path(reverse=bool(rep % 2))
+            samples.append(run_tcp_flow(path, duration=duration).throughput_mbps)
+        record.add(
+            variant,
+            "tcp_mbps",
+            sum(samples) / len(samples),
+            "Mbit/s",
+            paper_value=paper_value(variant, "tcp_mbps"),
+        )
+    return record
+
+
+# ----------------------------------------------------------------------
+# Figure 5: max UDP throughput at < 0.5% loss
+# ----------------------------------------------------------------------
+def run_fig5_udp(
+    scenarios: Tuple[str, ...] = ALL_SCENARIOS,
+    duration: float = 0.08,
+    iterations: int = 8,
+    seed: int = 1,
+    params: Optional[TestbedParams] = None,
+) -> ExperimentRecord:
+    """The paper's 'adjust -b until a maximum is reached' UDP search."""
+    record = ExperimentRecord(
+        "Figure 5", "max UDP throughput at loss < 0.5%"
+    )
+    base_params = params or TestbedParams()
+    for variant in scenarios:
+        _rate, result = find_max_udp_rate(
+            lambda v=variant: _fresh_path(v, seed, params),
+            duration=duration,
+            iterations=iterations,
+            send_cost=base_params.udp_send_cost,
+        )
+        record.add(
+            variant,
+            "udp_mbps",
+            result.throughput_mbps,
+            "Mbit/s",
+            paper_value=paper_value(variant, "udp_mbps"),
+            loss_rate=result.loss_rate,
+        )
+    return record
+
+
+# ----------------------------------------------------------------------
+# Figure 6: throughput vs loss rate (Central3)
+# ----------------------------------------------------------------------
+def run_fig6_loss_correlation(
+    offered_mbps: Tuple[float, ...] = (60, 120, 180, 210, 230, 250, 270, 300, 350),
+    duration: float = 0.08,
+    seed: int = 1,
+    params: Optional[TestbedParams] = None,
+) -> List[Tuple[float, float, float]]:
+    """Sweep offered UDP rate in Central3; return (offered, goodput,
+    loss_rate) triples."""
+    base_params = params or TestbedParams()
+    points = []
+    for rate in offered_mbps:
+        result = run_udp_flow(
+            _fresh_path("central3", seed, params),
+            rate_bps=rate * 1e6,
+            duration=duration,
+            send_cost=base_params.udp_send_cost,
+        )
+        points.append((rate, result.throughput_mbps, result.loss_rate))
+    return points
+
+
+# ----------------------------------------------------------------------
+# Figure 7: ping RTT
+# ----------------------------------------------------------------------
+def run_fig7_rtt(
+    scenarios: Tuple[str, ...] = TABLE1_SCENARIOS,
+    count: int = 50,
+    sequences: int = 3,
+    seed: int = 1,
+    params: Optional[TestbedParams] = None,
+) -> ExperimentRecord:
+    """Three sequences of 50 echo cycles per scenario (paper Figure 7)."""
+    record = ExperimentRecord("Figure 7", "ping round-trip time")
+    for variant in scenarios:
+        samples = []
+        for rep in range(sequences):
+            testbed = build_testbed(variant, params=params, seed=seed + rep)
+            result = run_ping(testbed.path(), count=count, interval=1e-3)
+            samples.append(result.avg_rtt_ms)
+        record.add(
+            variant,
+            "rtt_ms",
+            sum(samples) / len(samples),
+            "ms",
+            paper_value=paper_value(variant, "rtt_ms"),
+        )
+    return record
+
+
+# ----------------------------------------------------------------------
+# Figure 8: jitter vs UDP packet size
+# ----------------------------------------------------------------------
+def jitter_params(base: Optional[TestbedParams] = None) -> TestbedParams:
+    """Parameters that expose the compare-cache cleanup mechanism.
+
+    The paper explains Figure 8 by cache pressure: many small packets
+    fill the compare's packet cache, each cleanup stalls the compare,
+    and the stalls surface as jitter.  A small cache and a longer buffer
+    timeout make the mechanism visible at the benchmark's packet rates.
+    """
+    base = base or TestbedParams()
+    return replace(
+        base,
+        compare_cache_capacity=32,
+        compare_buffer_timeout=20e-3,
+    )
+
+
+def run_fig8_jitter(
+    scenarios: Tuple[str, ...] = TABLE1_SCENARIOS,
+    payload_sizes: Tuple[int, ...] = (128, 256, 512, 1024, 1470),
+    rate_mbps: float = 10.0,
+    duration: float = 0.15,
+    repetitions: int = 2,
+    seed: int = 1,
+    params: Optional[TestbedParams] = None,
+) -> Dict[str, List[Tuple[int, float]]]:
+    """RFC 3550 jitter per (scenario, payload size) at a fixed bitrate.
+
+    Returns ``{scenario: [(size, jitter_ms), ...]}``.
+    """
+    tuned = jitter_params(params)
+    series: Dict[str, List[Tuple[int, float]]] = {}
+    for variant in scenarios:
+        points = []
+        for size in payload_sizes:
+            samples = []
+            for rep in range(repetitions):
+                result = run_udp_flow(
+                    build_testbed(variant, params=tuned, seed=seed + rep).path(),
+                    rate_bps=rate_mbps * 1e6,
+                    duration=duration,
+                    payload_size=size,
+                )
+                samples.append(result.jitter_ms)
+            points.append((size, sum(samples) / len(samples)))
+        series[variant] = points
+    return series
+
+
+# ----------------------------------------------------------------------
+# Table I: the three averages together
+# ----------------------------------------------------------------------
+def run_table1(
+    duration_tcp: float = 0.15,
+    duration_udp: float = 0.08,
+    ping_count: int = 50,
+    repetitions: int = 2,
+    seed: int = 1,
+    params: Optional[TestbedParams] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Reproduce Table I; returns ``values[metric][scenario]``."""
+    tcp = run_fig4_tcp(
+        TABLE1_SCENARIOS,
+        duration=duration_tcp,
+        repetitions=repetitions,
+        seed=seed,
+        params=params,
+    )
+    udp = run_fig5_udp(
+        TABLE1_SCENARIOS, duration=duration_udp, seed=seed, params=params
+    )
+    rtt = run_fig7_rtt(
+        TABLE1_SCENARIOS, count=ping_count, sequences=repetitions, seed=seed,
+        params=params,
+    )
+    values: Dict[str, Dict[str, float]] = {"tcp_mbps": {}, "udp_mbps": {}, "rtt_ms": {}}
+    for row in tcp.rows:
+        values["tcp_mbps"][row.scenario] = row.value
+    for row in udp.rows:
+        values["udp_mbps"][row.scenario] = row.value
+    for row in rtt.rows:
+        values["rtt_ms"][row.scenario] = row.value
+    return values
+
+
+def paper_table1_values() -> Dict[str, Dict[str, float]]:
+    """The paper's Table I in the same layout as :func:`run_table1`."""
+    from repro.analysis.records import PAPER_TABLE1
+
+    values: Dict[str, Dict[str, float]] = {}
+    for (scenario, metric), value in PAPER_TABLE1.items():
+        values.setdefault(metric, {})[scenario] = value
+    return values

@@ -1,0 +1,70 @@
+"""The compare as an SDN controller application — the paper's **POX3**.
+
+"For comparison, we compare the performance of our C-based compare to a
+compare implemented as a POX controller application."  Here the compare
+core runs inside a controller: every candidate copy crosses the OpenFlow
+control channel as a packet-in, pays the controller's (interpreted-
+Python-scale) per-message processing cost, and the release travels back
+as a packet-out.  The paper attributes POX3's poor showing to exactly
+these two costs — language overhead and piping every packet through the
+controller — both of which are explicit parameters here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.compare import CompareContext, CompareCore
+from repro.core.endpoint import CombinerEndpoint
+from repro.openflow.controller import Controller
+from repro.openflow.messages import PacketIn, PacketOut
+from repro.openflow.switch import OpenFlowSwitch
+
+
+class PoxStyleCompareApp(Controller):
+    """Controller application hosting a :class:`CompareCore`.
+
+    Attach combiner endpoints with ``endpoint.connect_controller(app,
+    latency)`` followed by ``endpoint.attach_compare_controller(app.core)``;
+    the endpoint then submits branch copies as packet-ins and treats
+    packet-outs as release decisions.
+    """
+
+    def __init__(
+        self,
+        sim,
+        core: CompareCore,
+        name: str = "pox-compare",
+        trace_bus=None,
+        proc_time: float = 0.0,
+    ) -> None:
+        super().__init__(sim, name, trace_bus=trace_bus, proc_time=proc_time)
+        self.core = core
+        self._contexts: Dict[int, CompareContext] = {}
+
+    def _context_for(self, endpoint: CombinerEndpoint) -> CompareContext:
+        context = self._contexts.get(endpoint.datapath_id)
+        if context is None:
+
+            def release(packet) -> None:
+                self.send_packet_out(
+                    endpoint, PacketOut(packet=packet, actions=[], in_port=0)
+                )
+
+            context = CompareContext(
+                scope=endpoint.name,
+                release=release,
+                block_branch=endpoint.block_branch_ingress,
+            )
+            self._contexts[endpoint.datapath_id] = context
+        return context
+
+    def on_packet_in(self, switch: OpenFlowSwitch, event: PacketIn) -> None:
+        if not isinstance(switch, CombinerEndpoint):
+            self.trace("pox_compare.not_an_endpoint", datapath=switch.datapath_id)
+            return
+        branch = switch.branch_of_port(event.in_port)
+        if branch is None:
+            self.trace("pox_compare.unknown_branch", in_port=event.in_port)
+            return
+        self.core.submit(event.packet, branch, self._context_for(switch))

@@ -1,0 +1,52 @@
+"""Hub behaviour expressed as plain OpenFlow rules.
+
+Section IV argues the hub "can be realized in the datapath": indeed, in
+OpenFlow 1.0 duplication is just an action list with several outputs.
+These installers program an ordinary :class:`OpenFlowSwitch` to act as a
+hub or as a static mux — demonstrating that the trusted components need
+nothing beyond the match-action datapath (and giving tests a second,
+rule-based implementation to check the built-in endpoints against).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.openflow.actions import Output
+from repro.openflow.match import Match
+from repro.openflow.switch import OpenFlowSwitch
+
+
+def install_hub_rules(
+    switch: OpenFlowSwitch,
+    upstream_port: int,
+    branch_ports: Sequence[int],
+    priority: int = 10,
+) -> None:
+    """Duplicate upstream ingress to every branch; merge the reverse."""
+    switch.install(
+        Match(in_port=upstream_port),
+        [Output(port) for port in branch_ports],
+        priority=priority,
+    )
+    for port in branch_ports:
+        switch.install(
+            Match(in_port=port), [Output(upstream_port)], priority=priority
+        )
+
+
+def install_mux_rules(
+    switch: OpenFlowSwitch,
+    collect_ports: Iterable[int],
+    compare_port: int,
+    priority: int = 10,
+) -> None:
+    """Forward every collected branch packet to the compare attachment."""
+    for port in collect_ports:
+        switch.install(Match(in_port=port), [Output(compare_port)], priority=priority)
+
+
+def hub_rule_count(branch_ports: Sequence[int]) -> int:
+    """Rules a hub needs: one per direction class (cost argument in the
+    paper: trusted components must stay simple)."""
+    return 1 + len(branch_ports)

@@ -1,0 +1,71 @@
+"""A classic L2 learning-switch controller application.
+
+The standard first SDN app (POX's ``l2_learning``): learn the source MAC
+on packet-in, install a dl_dst flow toward the learned port, flood
+unknowns.  Used by examples and tests as the benign baseline control
+plane, and by the virtualized-NetCo scenario for the non-tunnelled edge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.net.addresses import MacAddress
+from repro.openflow.actions import Output, flood
+from repro.openflow.controller import Controller
+from repro.openflow.match import Match
+from repro.openflow.messages import FLOWMOD_ADD, FlowMod, PacketIn, PacketOut
+from repro.openflow.switch import OpenFlowSwitch
+
+
+class LearningSwitchApp(Controller):
+    """Reactive MAC learning over any number of switches."""
+
+    def __init__(
+        self,
+        sim,
+        name: str = "l2-learning",
+        trace_bus=None,
+        proc_time: float = 0.0,
+        flow_idle_timeout: float = 0.0,
+        flow_priority: int = 10,
+    ) -> None:
+        super().__init__(sim, name, trace_bus=trace_bus, proc_time=proc_time)
+        self.flow_idle_timeout = flow_idle_timeout
+        self.flow_priority = flow_priority
+        # (datapath_id, mac) -> port
+        self.tables: Dict[Tuple[int, MacAddress], int] = {}
+        self.floods = 0
+        self.flows_installed = 0
+
+    def on_packet_in(self, switch: OpenFlowSwitch, event: PacketIn) -> None:
+        packet = event.packet
+        src, dst = packet.eth.src, packet.eth.dst
+        if not src.is_multicast:
+            self.tables[(switch.datapath_id, src)] = event.in_port
+        out_port = self.tables.get((switch.datapath_id, dst))
+        if out_port is None or dst.is_broadcast:
+            self.floods += 1
+            self.send_packet_out(
+                switch,
+                PacketOut(packet=packet, actions=[flood()], in_port=event.in_port),
+            )
+            return
+        self.flows_installed += 1
+        self.send_flow_mod(
+            switch,
+            FlowMod(
+                command=FLOWMOD_ADD,
+                match=Match(dl_dst=dst),
+                actions=[Output(out_port)],
+                priority=self.flow_priority,
+                idle_timeout=self.flow_idle_timeout,
+            ),
+        )
+        self.send_packet_out(
+            switch,
+            PacketOut(packet=packet, actions=[Output(out_port)], in_port=event.in_port),
+        )
+
+    def learned_port(self, switch: OpenFlowSwitch, mac: MacAddress) -> int:
+        return self.tables.get((switch.datapath_id, MacAddress(mac)), -1)

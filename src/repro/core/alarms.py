@@ -1,0 +1,73 @@
+"""Alarm reporting for the NetCo compare element.
+
+The paper (Section IV) describes two operator-facing signals:
+
+* a router that stops delivering copies of consecutive packets is assumed
+  unavailable and "raises an alarm to the network administrator";
+* a router flooding one ingress port triggers the DoS mitigation (the
+  compare advises the switch to block the port).
+
+:class:`AlarmSink` collects these as structured records and mirrors them
+onto the trace bus so tests and operators can observe them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.sim import TraceBus
+
+ALARM_ROUTER_UNAVAILABLE = "router_unavailable"
+ALARM_DOS_SUSPECTED = "dos_suspected"
+ALARM_SINGLE_SOURCE_PACKET = "single_source_packet"
+ALARM_SPOOFED_BRANCH = "spoofed_branch"
+ALARM_MINORITY_DIVERGENCE = "minority_divergence"
+
+
+@dataclass(frozen=True)
+class Alarm:
+    """One operator alarm raised by a trusted component."""
+
+    time: float
+    kind: str
+    source: str
+    branch: Optional[int] = None
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        branch = f" branch={self.branch}" if self.branch is not None else ""
+        return f"[{self.time:.6f}] {self.kind} from {self.source}{branch} {self.details}"
+
+
+class AlarmSink:
+    """Collects alarms; optionally mirrors them to a trace bus."""
+
+    def __init__(self, trace_bus: Optional[TraceBus] = None) -> None:
+        self._trace_bus = trace_bus
+        self.alarms: List[Alarm] = []
+
+    def raise_alarm(
+        self,
+        time: float,
+        kind: str,
+        source: str,
+        branch: Optional[int] = None,
+        **details: Any,
+    ) -> Alarm:
+        alarm = Alarm(time=time, kind=kind, source=source, branch=branch, details=details)
+        self.alarms.append(alarm)
+        if self._trace_bus is not None:
+            self._trace_bus.emit(time, "alarm", source, kind=kind, branch=branch, **details)
+        return alarm
+
+    def of_kind(self, kind: str) -> List[Alarm]:
+        return [a for a in self.alarms if a.kind == kind]
+
+    def count(self, kind: Optional[str] = None) -> int:
+        if kind is None:
+            return len(self.alarms)
+        return len(self.of_kind(kind))
+
+    def clear(self) -> None:
+        self.alarms.clear()

@@ -1,0 +1,311 @@
+"""Combiner assembly: wiring hubs, untrusted routers and the compare.
+
+Two builders live here:
+
+* :func:`build_combiner_chain` — the Figure 3 arrangement: two trusted
+  endpoints (``s1``, ``s2``) bracketing ``k`` untrusted routers in a
+  parallel circuit, with a dedicated compare host (``h3``) attached
+  in-band to both endpoints.  This is the unit the paper's performance
+  evaluation measures (Central3/Central5/Dup3/Dup5/Linespeed are all
+  parameterisations of it).
+
+* :class:`CompareHost` — the trusted server running the compare module,
+  attached to the data plane like the paper's C process: packets reach it
+  over real links (so the compare link's bandwidth and latency cost is
+  modelled), carrying the collecting endpoint's branch tag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.core.alarms import AlarmSink
+from repro.core.compare import CompareConfig, CompareContext, CompareCore
+from repro.core.endpoint import MODE_COMBINE, MODE_DUP, CombinerEndpoint
+from repro.net.addresses import MacAddress
+from repro.net.node import NetworkError, Node, Port
+from repro.net.packet import Packet
+from repro.net.topology import Network
+from repro.openflow.actions import Output
+from repro.openflow.match import Match
+from repro.openflow.switch import OpenFlowSwitch
+from repro.sim import CpuResource, Simulator, TraceBus
+
+
+class CompareHost(Node):
+    """The dedicated trusted server (``h3``) running the compare module.
+
+    Each wired port is registered against the collecting endpoint at the
+    other end; packets arriving there carry the branch tag the endpoint
+    attached, and releases travel back out the same port.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        core: CompareCore,
+        trace_bus: Optional[TraceBus] = None,
+    ) -> None:
+        super().__init__(sim, name, trace_bus)
+        self.core = core
+        self._contexts: Dict[int, CompareContext] = {}
+
+    def register_endpoint(self, port_no: int, endpoint: CombinerEndpoint) -> None:
+        """Associate a local port with the endpoint it serves."""
+        port = self.port(port_no)
+
+        def release(packet: Packet) -> None:
+            dup = packet.copy()
+            if packet.meta is not None:
+                # Preserve the claim (egress decision) across the copy so
+                # the endpoint can honour it; the branch tag is spent.
+                dup.meta = {"claim": packet.meta.get("claim")}
+            port.send(dup)
+
+        self._contexts[port_no] = CompareContext(
+            scope=endpoint.name,
+            release=release,
+            block_branch=endpoint.block_branch_ingress,
+        )
+
+    def receive(self, packet: Packet, in_port: Port) -> None:
+        context = self._contexts.get(in_port.port_no)
+        if context is None:
+            self.trace("compare_host.unregistered_port", port=in_port.port_no)
+            return
+        meta = packet.meta or {}
+        branch = meta.get("branch")
+        if branch is None:
+            self.trace("compare_host.untagged_packet", port=in_port.port_no)
+            return
+        self.core.submit(packet, branch, context, claim=meta.get("claim"))
+
+
+@dataclass
+class CombinerChainParams:
+    """All tunables of a Figure 3 combiner chain.
+
+    The defaults reproduce the calibrated testbed of the performance
+    benchmarks; see ``repro.scenarios.testbed`` for the per-scenario
+    values and DESIGN.md for the calibration rationale.
+    """
+
+    k: int = 3
+    mode: str = MODE_COMBINE  # 'combine' (CentralK) or 'dup' (DupK)
+    link_rate_bps: float = 1e9
+    link_delay: float = 2e-6
+    queue_capacity: int = 100
+    router_proc_time: float = 6e-6
+    router_proc_per_byte: float = 0.0
+    endpoint_proc_time: float = 1e-6
+    endpoint_proc_per_byte: float = 3e-9
+    #: run every switch datapath (endpoints + untrusted routers) on one
+    #: shared CPU, as Mininet on a single machine does
+    shared_cpu: bool = True
+    #: per-switch bound on packets awaiting datapath service
+    switch_service_queue: int = 64
+    compare_link_rate_bps: float = 1e9
+    compare_link_delay: float = 2e-6
+    compare: CompareConfig = field(default_factory=CompareConfig)
+    mark_sources: bool = False
+    #: 'inline' = dedicated compare host on the data plane (the paper's
+    #: C prototype); 'controller' = compare as a controller app (POX3).
+    transport: str = "inline"
+    controller_latency: float = 100e-6
+    controller_proc_time: float = 120e-6
+
+    def for_k(self, k: int) -> "CombinerChainParams":
+        return replace(self, k=k, compare=replace(self.compare, k=k))
+
+
+class CombinerChain:
+    """Handles to every element of a built Figure 3 chain."""
+
+    def __init__(
+        self,
+        network: Network,
+        name: str,
+        endpoint_a: CombinerEndpoint,
+        endpoint_b: CombinerEndpoint,
+        routers: List[OpenFlowSwitch],
+        compare_host: Optional[CompareHost],
+        compare_core: Optional[CompareCore],
+        alarms: AlarmSink,
+        controller=None,
+    ) -> None:
+        self.network = network
+        self.name = name
+        self.endpoint_a = endpoint_a
+        self.endpoint_b = endpoint_b
+        self.routers = routers
+        self.compare_host = compare_host
+        self.compare_core = compare_core
+        self.alarms = alarms
+        self.controller = controller
+
+    @property
+    def k(self) -> int:
+        return len(self.routers)
+
+    def install_mac_route(self, mac: MacAddress, toward: str) -> None:
+        """Program every untrusted router to send ``mac`` toward endpoint
+        'a' or 'b' (the paper routes on MAC destination only)."""
+        if toward not in ("a", "b"):
+            raise ValueError(f"toward must be 'a' or 'b', got {toward!r}")
+        endpoint = self.endpoint_a if toward == "a" else self.endpoint_b
+        for router in self.routers:
+            out_port = self.network.port_no_between(router.name, endpoint.name)
+            router.install(Match(dl_dst=mac), [Output(out_port)], priority=10)
+
+    def router(self, index: int) -> OpenFlowSwitch:
+        return self.routers[index]
+
+
+def build_combiner_chain(
+    network: Network,
+    name: str,
+    params: CombinerChainParams,
+    alarm_sink: Optional[AlarmSink] = None,
+) -> CombinerChain:
+    """Build endpoints, routers, compare and internal wiring (Figure 3).
+
+    External hosts are attached afterwards with ``network.connect(host,
+    chain.endpoint_a)`` — any endpoint port that is not a branch or the
+    compare attachment is treated as external.
+    """
+    if params.k < 1:
+        raise NetworkError(f"combiner needs at least one router, got k={params.k}")
+    if params.mode not in (MODE_COMBINE, MODE_DUP):
+        raise NetworkError(f"unknown combiner mode {params.mode!r}")
+    sim, trace = network.sim, network.trace
+    alarms = alarm_sink or AlarmSink(trace)
+    cpu = CpuResource(f"{name}.cpu") if params.shared_cpu else None
+
+    endpoint_a = CombinerEndpoint(
+        sim,
+        f"{name}_sA",
+        trace_bus=trace,
+        proc_time=params.endpoint_proc_time,
+        proc_per_byte=params.endpoint_proc_per_byte,
+        cpu=cpu,
+        mode=params.mode,
+        mark_sources=params.mark_sources,
+        alarm_sink=alarms,
+        service_queue_capacity=params.switch_service_queue,
+    )
+    endpoint_b = CombinerEndpoint(
+        sim,
+        f"{name}_sB",
+        trace_bus=trace,
+        proc_time=params.endpoint_proc_time,
+        proc_per_byte=params.endpoint_proc_per_byte,
+        cpu=cpu,
+        mode=params.mode,
+        mark_sources=params.mark_sources,
+        alarm_sink=alarms,
+        service_queue_capacity=params.switch_service_queue,
+    )
+    network.add_node(endpoint_a)
+    network.add_node(endpoint_b)
+    # Trusted endpoints share their address registry (they are jointly
+    # administered and already share the compare host).
+    endpoint_b.address_registry = endpoint_a.address_registry
+
+    routers: List[OpenFlowSwitch] = []
+    for i in range(params.k):
+        router = OpenFlowSwitch(
+            sim,
+            f"{name}_r{i}",
+            trace_bus=trace,
+            proc_time=params.router_proc_time,
+            proc_per_byte=params.router_proc_per_byte,
+            cpu=cpu,
+            service_queue_capacity=params.switch_service_queue,
+        )
+        network.add_node(router)
+        routers.append(router)
+        link_a = network.connect(
+            endpoint_a,
+            router,
+            rate_bps=params.link_rate_bps,
+            delay=params.link_delay,
+            queue_capacity=params.queue_capacity,
+        )
+        network.connect(
+            router,
+            endpoint_b,
+            rate_bps=params.link_rate_bps,
+            delay=params.link_delay,
+            queue_capacity=params.queue_capacity,
+        )
+        endpoint_a.assign_branch(link_a.a.port_no, i)
+        endpoint_b.assign_branch(
+            network.port_no_between(endpoint_b.name, router.name), i
+        )
+
+    compare_host: Optional[CompareHost] = None
+    compare_core: Optional[CompareCore] = None
+    controller = None
+    if params.mode == MODE_COMBINE:
+        config = replace(params.compare, k=params.k)
+        if params.mark_sources:
+            # Branch markers legitimately differentiate the copies'
+            # dl_src, so the compare votes on src-masked bytes.
+            from repro.core.policy import mask_src_mac_policy
+
+            config = replace(config, policy=mask_src_mac_policy(config.policy))
+        compare_core = CompareCore(
+            sim,
+            config,
+            name=f"{name}_compare",
+            alarm_sink=alarms,
+            trace_bus=trace,
+        )
+        if params.transport == "inline":
+            compare_host = CompareHost(sim, f"{name}_h3", compare_core, trace_bus=trace)
+            network.add_node(compare_host)
+            for endpoint in (endpoint_a, endpoint_b):
+                network.connect(
+                    endpoint,
+                    compare_host,
+                    rate_bps=params.compare_link_rate_bps,
+                    delay=params.compare_link_delay,
+                    queue_capacity=params.queue_capacity,
+                )
+                endpoint.assign_compare_port(
+                    network.port_no_between(endpoint.name, compare_host.name)
+                )
+                compare_host.register_endpoint(
+                    network.port_no_between(compare_host.name, endpoint.name), endpoint
+                )
+        elif params.transport == "controller":
+            # POX3: the compare lives in a controller application; copies
+            # cross the OpenFlow control channel in both directions.
+            from repro.apps.combiner_app import PoxStyleCompareApp
+
+            controller = PoxStyleCompareApp(
+                sim,
+                compare_core,
+                name=f"{name}_pox",
+                trace_bus=trace,
+                proc_time=params.controller_proc_time,
+            )
+            for endpoint in (endpoint_a, endpoint_b):
+                endpoint.connect_controller(controller, latency=params.controller_latency)
+                endpoint.attach_compare_controller(compare_core)
+        else:
+            raise NetworkError(f"unknown compare transport {params.transport!r}")
+
+    return CombinerChain(
+        network=network,
+        name=name,
+        endpoint_a=endpoint_a,
+        endpoint_b=endpoint_b,
+        routers=routers,
+        compare_host=compare_host,
+        compare_core=compare_core,
+        alarms=alarms,
+        controller=controller,
+    )

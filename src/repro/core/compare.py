@@ -1,0 +1,363 @@
+"""The NetCo *compare* element.
+
+This is the heart of NetCo (Section IV of the paper): a trusted process
+that receives every copy a redundant router bundle produced, compares the
+copies (bit-by-bit / header / hash, per the configured policy), and
+releases exactly one copy once a majority of branches delivered it.
+
+Faithful behaviours from the paper:
+
+* majority release — "once a packet has been received on the majority of
+  the possible ingress ports, the compare releases it immediately";
+* stragglers ignored — "if additional packets arrive later, they are
+  ignored" (entries persist as tombstones until their deadline);
+* bounded buffering — "the time a packet should be kept in the buffer is
+  a function of the latencies of all the connected devices and links";
+  unique packets are eventually deleted, never forwarded;
+* DoS mitigation — repeated copies on one ingress port make the compare
+  "advise the corresponding switch to block the appropriate port";
+* liveness alarm — a branch missing from many consecutive packets raises
+  a router-unavailable alarm to the administrator;
+* cache cleanup — the packet cache is bounded; when it fills, a cleanup
+  procedure runs and stalls the compare, which is the jitter mechanism
+  the paper observes in Figure 8.
+
+The compare is transport-agnostic: :class:`CompareCore` contains the
+logic; adapters attach it to the data plane (an in-band host, as in the
+paper's C prototype) or to the control plane (a POX-style controller app,
+``repro.apps.combiner_app``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Optional, Sequence
+
+from repro.core.alarms import (
+    ALARM_DOS_SUSPECTED,
+    ALARM_ROUTER_UNAVAILABLE,
+    ALARM_SINGLE_SOURCE_PACKET,
+    AlarmSink,
+)
+from repro.core.policy import BitExactPolicy, ComparePolicy
+from repro.core.votes import VoteBook, VoteEntry
+from repro.net.packet import Packet
+from repro.sim import PeriodicTask, Simulator, TraceBus
+
+
+@dataclass
+class CompareConfig:
+    """Tunable parameters of a compare element.
+
+    Defaults are calibrated for the microsecond-scale testbed used in the
+    performance benchmarks; scenarios override what they need.
+    """
+
+    k: int = 3
+    quorum: Optional[int] = None  # default: floor(k/2) + 1
+    policy: ComparePolicy = field(default_factory=BitExactPolicy)
+    #: how long a packet stays buffered awaiting (or after) its majority
+    buffer_timeout: float = 5e-3
+    #: per-copy processing cost (the C prototype is fast; POX is not)
+    proc_time: float = 0.0
+    #: additional processing cost per wire byte (memcmp + copy are linear)
+    proc_per_byte: float = 0.0
+    #: copies that may wait for the processor; beyond this they are
+    #: dropped ("the different buffers should be (logically) isolated"
+    #: and bounded, to prevent resource attacks on the compare)
+    service_queue_capacity: int = 128
+    #: packet cache bound; reaching it triggers the cleanup procedure
+    cache_capacity: int = 4096
+    #: fixed stall paid when the cleanup procedure runs
+    cleanup_duration: float = 2e-4
+    #: additional stall per cache entry scanned during cleanup
+    cleanup_scan_cost: float = 1e-7
+    #: duplicate copies on one branch before the DoS mitigation triggers
+    dup_threshold: int = 8
+    #: unreleased single-branch expiries before the DoS mitigation triggers
+    craft_threshold: int = 64
+    #: how long the advised port block lasts
+    block_duration: float = 50e-3
+    #: consecutive released packets a branch may miss before the alarm
+    miss_threshold: int = 10
+
+    def effective_quorum(self) -> int:
+        if self.quorum is not None:
+            return self.quorum
+        return self.k // 2 + 1
+
+    def validate(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        quorum = self.effective_quorum()
+        if not 1 <= quorum <= self.k:
+            raise ValueError(f"quorum {quorum} out of range for k={self.k}")
+        if self.buffer_timeout <= 0:
+            raise ValueError("buffer_timeout must be positive")
+        if self.cache_capacity < 1:
+            raise ValueError("cache_capacity must be >= 1")
+
+
+@dataclass
+class CompareStats:
+    """Counters exposed by a compare element."""
+
+    submissions: int = 0
+    released: int = 0
+    late_copies: int = 0
+    branch_duplicates: int = 0
+    expired_unreleased: int = 0
+    expired_released: int = 0
+    evicted: int = 0
+    queue_drops: int = 0
+    #: total copies accounted for by finalised entries; conservation
+    #: invariant: submissions == queue_drops + copies_finalised +
+    #: (copies still buffered) — checked by the soak tests
+    copies_finalised: int = 0
+    cleanups: int = 0
+    cleanup_stall_time: float = 0.0
+    blocks_issued: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class CompareContext:
+    """Return path for one attachment point of the compare.
+
+    ``scope`` isolates vote spaces (copies collected at endpoint s1 never
+    vote together with copies collected at s2).  ``release`` forwards the
+    single winning copy onward; ``block_branch`` implements the advised
+    DoS port block on the collecting switch.
+    """
+
+    __slots__ = ("scope", "release", "block_branch")
+
+    def __init__(
+        self,
+        scope: str,
+        release: Callable[[Packet], None],
+        block_branch: Optional[Callable[[int, float], None]] = None,
+    ) -> None:
+        self.scope = scope
+        self.release = release
+        self.block_branch = block_branch
+
+
+class CompareCore:
+    """The compare logic plus its single-server processing model."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: CompareConfig,
+        name: str = "compare",
+        alarm_sink: Optional[AlarmSink] = None,
+        trace_bus: Optional[TraceBus] = None,
+        branch_ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        config.validate()
+        self.sim = sim
+        self.config = config
+        self.name = name
+        self.alarms = alarm_sink or AlarmSink(trace_bus)
+        self.trace_bus = trace_bus
+        self.branch_ids = list(branch_ids) if branch_ids is not None else list(range(config.k))
+        self.book = VoteBook(config.effective_quorum(), config.buffer_timeout)
+        self.stats = CompareStats()
+        self._contexts: Dict[str, CompareContext] = {}
+        self._busy_until = 0.0
+        self._in_service = 0
+        # DoS bookkeeping
+        self._dup_strikes: Dict[int, int] = {}
+        self._craft_strikes: Dict[int, int] = {}
+        self._blocked_branches: Dict[int, float] = {}
+        # liveness bookkeeping
+        self._miss_counts: Dict[int, int] = {b: 0 for b in self.branch_ids}
+        self._unavailable: Dict[int, bool] = {b: False for b in self.branch_ids}
+        self._sweeper = PeriodicTask(sim, config.buffer_timeout, self._sweep)
+
+    # ------------------------------------------------------------------
+    # submission path
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        packet: Packet,
+        branch: int,
+        context: CompareContext,
+        claim: Optional[int] = None,
+    ) -> None:
+        """Accept one copy from ``branch`` collected by ``context``.
+
+        The copy is queued behind the compare's single-server processor
+        (``proc_time`` per copy); voting happens when it is served.
+        """
+        self._contexts[context.scope] = context
+        self.stats.submissions += 1
+        cost = self.config.proc_time + self.config.proc_per_byte * packet.wire_len
+        if cost <= 0.0 and self.sim.now >= self._busy_until:
+            self._serve(packet, branch, context, claim)
+            return
+        if self._in_service >= self.config.service_queue_capacity:
+            self.stats.queue_drops += 1
+            self._trace("compare.queue_drop", branch=branch)
+            return
+        start = max(self.sim.now, self._busy_until)
+        finish = start + cost
+        self._busy_until = finish
+        self._in_service += 1
+
+        def _serve_one() -> None:
+            self._in_service -= 1
+            self._serve(packet, branch, context, claim)
+
+        self.sim.schedule_at(finish, _serve_one)
+
+    def _serve(
+        self,
+        packet: Packet,
+        branch: int,
+        context: CompareContext,
+        claim: Optional[int],
+    ) -> None:
+        now = self.sim.now
+        if not self._sweeper.running:
+            self._sweeper.start(self.config.buffer_timeout)
+        if len(self.book) >= self.config.cache_capacity:
+            self._cleanup(now)
+        key: Hashable = (context.scope, claim, self.config.policy.key(packet))
+        outcome = self.book.observe(key, branch, now, packet, claim=claim)
+        if outcome.evicted_stale is not None:
+            self._finalise(outcome.evicted_stale)
+        if outcome.is_branch_duplicate:
+            self.stats.branch_duplicates += 1
+            self._note_duplicate(branch, context)
+        else:
+            self._dup_strikes[branch] = 0
+        if outcome.late_copy:
+            self.stats.late_copies += 1
+            self._trace("compare.late_copy", branch=branch)
+            return
+        if outcome.newly_released:
+            self.stats.released += 1
+            self._trace("compare.release", branch=branch, votes=outcome.entry.distinct_branches)
+            context.release(outcome.entry.packet)
+
+    # ------------------------------------------------------------------
+    # cache management (the Figure 8 jitter mechanism)
+    # ------------------------------------------------------------------
+    def _cleanup(self, now: float) -> None:
+        scanned = len(self.book)
+        expired = self.book.pop_expired(now)
+        for entry in expired:
+            self._finalise(entry)
+        if len(self.book) >= self.config.cache_capacity:
+            # Still full: evict the oldest tenth to make room.
+            evicted = self.book.evict_oldest(max(1, self.config.cache_capacity // 10))
+            self.stats.evicted += len(evicted)
+            for entry in evicted:
+                self._finalise(entry)
+        stall = self.config.cleanup_duration + self.config.cleanup_scan_cost * scanned
+        self._busy_until = max(self._busy_until, now) + stall
+        self.stats.cleanups += 1
+        self.stats.cleanup_stall_time += stall
+        self._trace("compare.cleanup", scanned=scanned, expired=len(expired), stall=stall)
+
+    def _sweep(self) -> None:
+        for entry in self.book.pop_expired(self.sim.now):
+            self._finalise(entry)
+        if not len(self.book):
+            self._sweeper.stop()
+
+    def _finalise(self, entry: VoteEntry) -> None:
+        """Account for an entry leaving the cache (expiry or eviction)."""
+        now = self.sim.now
+        self.stats.copies_finalised += entry.total_copies()
+        if entry.released:
+            self.stats.expired_released += 1
+            for missing in entry.missing_branches(self.branch_ids):
+                self._note_missing(missing)
+            for present in entry.branches():
+                self._miss_counts[present] = 0
+                if self._unavailable.get(present):
+                    self._unavailable[present] = False
+        else:
+            self.stats.expired_unreleased += 1
+            if entry.distinct_branches == 1:
+                branch = entry.branches()[0]
+                self.alarms.raise_alarm(
+                    now,
+                    ALARM_SINGLE_SOURCE_PACKET,
+                    self.name,
+                    branch=branch,
+                    copies=entry.total_copies(),
+                )
+                self._note_crafted(branch)
+            self._trace(
+                "compare.drop_unreleased",
+                votes=entry.distinct_branches,
+                copies=entry.total_copies(),
+            )
+
+    # ------------------------------------------------------------------
+    # DoS and liveness logic
+    # ------------------------------------------------------------------
+    def _note_duplicate(self, branch: int, context: CompareContext) -> None:
+        strikes = self._dup_strikes.get(branch, 0) + 1
+        self._dup_strikes[branch] = strikes
+        if strikes >= self.config.dup_threshold:
+            self._dup_strikes[branch] = 0
+            self._block(branch, context, reason="duplicate-flood")
+
+    def _note_crafted(self, branch: int) -> None:
+        strikes = self._craft_strikes.get(branch, 0) + 1
+        self._craft_strikes[branch] = strikes
+        if strikes >= self.config.craft_threshold:
+            self._craft_strikes[branch] = 0
+            context = self._contexts.get(next(iter(self._contexts), ""), None)
+            self._block(branch, context, reason="crafted-flood")
+
+    def _block(self, branch: int, context: Optional[CompareContext], reason: str) -> None:
+        now = self.sim.now
+        until = self._blocked_branches.get(branch, 0.0)
+        if now < until:
+            return  # already blocked; don't spam
+        self._blocked_branches[branch] = now + self.config.block_duration
+        self.stats.blocks_issued += 1
+        self.alarms.raise_alarm(
+            now, ALARM_DOS_SUSPECTED, self.name, branch=branch, reason=reason
+        )
+        if context is not None and context.block_branch is not None:
+            context.block_branch(branch, self.config.block_duration)
+
+    def _note_missing(self, branch: int) -> None:
+        count = self._miss_counts.get(branch, 0) + 1
+        self._miss_counts[branch] = count
+        if count >= self.config.miss_threshold and not self._unavailable.get(branch):
+            self._unavailable[branch] = True
+            self.alarms.raise_alarm(
+                self.sim.now,
+                ALARM_ROUTER_UNAVAILABLE,
+                self.name,
+                branch=branch,
+                consecutive_misses=count,
+            )
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Finalise everything still buffered (end-of-run accounting)."""
+        for entry in self.book.entries():
+            self._finalise(entry)
+        self.book.clear()
+        self._sweeper.stop()
+
+    def _trace(self, topic: str, **data: object) -> None:
+        if self.trace_bus is not None:
+            self.trace_bus.emit(self.sim.now, topic, self.name, **data)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompareCore({self.name}, k={self.config.k}, "
+            f"quorum={self.config.effective_quorum()}, "
+            f"policy={self.config.policy.name})"
+        )

@@ -1,0 +1,310 @@
+"""Trusted combiner endpoints (the ``s1``/``s2`` elements of Figure 3).
+
+A :class:`CombinerEndpoint` is the trusted, simple device that brackets
+the bundle of untrusted routers.  Depending on the direction a packet
+flows it acts as
+
+* **hub** — packets arriving on an *external* port are duplicated onto
+  every *branch* port (one untrusted router per branch);
+* **collector** — packets arriving on a *branch* port are handed to the
+  compare, tagged with the branch identity (the paper does this with an
+  OpenFlow packet-in whose ``in_port`` identifies the router; optionally
+  the endpoint also enforces the paper's "ingress port must match MAC
+  source" spoofing check via per-branch source marking);
+* **egress** — packets released by the compare are forwarded onward
+  "based on the switch's MAC table".
+
+The endpoint subclasses :class:`OpenFlowSwitch` so the POX3 scenario can
+attach the compare as a genuine controller application via packet-in /
+packet-out, exactly as the paper's reference implementation does.  In
+``dup`` mode (the Dup3/Dup5 scenarios) the compare is bypassed: branch
+arrivals are forwarded directly, duplicates and all.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.core.alarms import ALARM_SPOOFED_BRANCH, AlarmSink
+from repro.core.compare import CompareContext, CompareCore
+from repro.net.addresses import MacAddress
+from repro.net.node import NetworkError
+from repro.net.packet import Packet
+from repro.openflow.messages import PACKETIN_NO_MATCH, PacketIn, PacketOut
+from repro.openflow.switch import OpenFlowSwitch
+from repro.sim import Simulator, TraceBus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+MODE_COMBINE = "combine"
+MODE_DUP = "dup"
+
+#: Locally-administered MAC prefix used for per-branch source markers.
+_MARKER_BASE = 0x06_00_00_00_00_00
+
+
+def branch_marker(branch: int) -> MacAddress:
+    """The source-marker MAC for a branch (paper: 'the only written
+    header field is the MAC source address')."""
+    return MacAddress(_MARKER_BASE + branch)
+
+
+class EndpointStats:
+    """Counters for one combiner endpoint."""
+
+    __slots__ = (
+        "external_in",
+        "duplicated",
+        "collected",
+        "submitted",
+        "released_out",
+        "spoof_drops",
+        "flooded",
+    )
+
+    def __init__(self) -> None:
+        self.external_in = 0
+        self.duplicated = 0
+        self.collected = 0
+        self.submitted = 0
+        self.released_out = 0
+        self.spoof_drops = 0
+        self.flooded = 0
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class CombinerEndpoint(OpenFlowSwitch):
+    """One trusted bracket of a NetCo combiner (see module docstring)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        trace_bus: Optional[TraceBus] = None,
+        proc_time: float = 0.0,
+        proc_per_byte: float = 0.0,
+        cpu=None,
+        mode: str = MODE_COMBINE,
+        mark_sources: bool = False,
+        alarm_sink: Optional[AlarmSink] = None,
+        service_queue_capacity: int = 1000,
+    ) -> None:
+        if mode not in (MODE_COMBINE, MODE_DUP):
+            raise ValueError(f"unknown endpoint mode {mode!r}")
+        super().__init__(
+            sim,
+            name,
+            trace_bus=trace_bus,
+            proc_time=proc_time,
+            proc_per_byte=proc_per_byte,
+            cpu=cpu,
+            service_queue_capacity=service_queue_capacity,
+        )
+        self.mode = mode
+        self.mark_sources = mark_sources
+        # Shared across the trusted endpoints of one combiner (they
+        # already share the compare): IP -> original MAC, learned on
+        # external ingress, used to restore dl_src after source-marked
+        # copies win their vote.
+        self.address_registry: Dict = {}
+        self.alarms = alarm_sink or AlarmSink(trace_bus)
+        self.estats = EndpointStats()
+        self._branch_by_port: Dict[int, int] = {}
+        self._port_by_branch: Dict[int, int] = {}
+        # Optional egress claim per branch port: for an n-port shielded
+        # router each replica has one link per original egress port, so a
+        # copy's arrival port encodes "replica i claims egress m".  The
+        # vote is then over (packet bytes, claimed egress) — the majority
+        # must agree on the forwarding decision too, as in Figure 2.
+        self._claim_by_port: Dict[int, int] = {}
+        self._compare_port_no: Optional[int] = None
+        self._compare_core: Optional[CompareCore] = None
+        self._mac_table: Dict[MacAddress, int] = {}
+
+    # ------------------------------------------------------------------
+    # wiring (done by the combiner builder)
+    # ------------------------------------------------------------------
+    def assign_branch(
+        self, port_no: int, branch: int, claim: Optional[int] = None
+    ) -> None:
+        """Mark ``port_no`` as a branch port toward untrusted router
+        ``branch``; ``claim`` optionally names the external egress port
+        this branch link stands for (n-port shielded-router wiring)."""
+        if port_no in self._branch_by_port:
+            raise NetworkError(f"{self.name}: port {port_no} already a branch")
+        self._branch_by_port[port_no] = branch
+        self._port_by_branch.setdefault(branch, port_no)
+        if claim is not None:
+            self._claim_by_port[port_no] = claim
+
+    def assign_compare_port(self, port_no: int) -> None:
+        """Mark ``port_no`` as the in-band attachment to the compare host."""
+        self._compare_port_no = port_no
+
+    def attach_compare_controller(self, core: CompareCore) -> None:
+        """Use the control channel (packet-in/packet-out) to reach the
+        compare — the POX3 configuration.  The endpoint must already be
+        connected to the controller hosting ``core``."""
+        self._compare_core = core
+
+    @property
+    def branch_ports(self) -> List[int]:
+        return sorted(self._branch_by_port)
+
+    @property
+    def branch_ids(self) -> List[int]:
+        return sorted(self._port_by_branch)
+
+    def port_of_branch(self, branch: int) -> int:
+        return self._port_by_branch[branch]
+
+    def branch_of_port(self, port_no: int) -> Optional[int]:
+        return self._branch_by_port.get(port_no)
+
+    def external_ports(self) -> List[int]:
+        """Every wired port that is neither a branch nor the compare port."""
+        return [
+            no
+            for no, port in sorted(self.ports.items())
+            if port.is_wired
+            and no not in self._branch_by_port
+            and no != self._compare_port_no
+        ]
+
+    # ------------------------------------------------------------------
+    # datapath (replaces the OpenFlow pipeline with the trusted logic)
+    # ------------------------------------------------------------------
+    def _process(self, packet: Packet, in_port_no: int) -> None:
+        if in_port_no in self._branch_by_port:
+            self._from_branch(
+                packet,
+                self._branch_by_port[in_port_no],
+                claim=self._claim_by_port.get(in_port_no),
+            )
+        elif in_port_no == self._compare_port_no:
+            self.handle_release(packet)
+        else:
+            self._from_external(packet, in_port_no)
+
+    def _from_external(self, packet: Packet, in_port_no: int) -> None:
+        """Hub role: learn the source, duplicate to every branch."""
+        self.estats.external_in += 1
+        if not packet.eth.src.is_multicast:
+            self._mac_table[packet.eth.src] = in_port_no
+            if packet.ip is not None:
+                self.address_registry[packet.ip.src] = packet.eth.src
+        for branch in self.branch_ids:
+            port = self.ports.get(self._port_by_branch[branch])
+            if port is None or not port.is_wired:
+                continue
+            copy = packet.copy()
+            if self.mark_sources:
+                copy.eth.src = branch_marker(branch)
+            port.send(copy)
+            self.estats.duplicated += 1
+
+    def _from_branch(
+        self, packet: Packet, branch: int, claim: Optional[int] = None
+    ) -> None:
+        """Collector role: validate and hand the copy to the compare."""
+        self.estats.collected += 1
+        if self.mark_sources:
+            expected = branch_marker(branch)
+            if packet.eth.src != expected:
+                self.estats.spoof_drops += 1
+                self.alarms.raise_alarm(
+                    self.sim.now,
+                    ALARM_SPOOFED_BRANCH,
+                    self.name,
+                    branch=branch,
+                    claimed=str(packet.eth.src),
+                )
+                return
+        if self.mode == MODE_DUP:
+            # Dup3/Dup5: hubs only; duplicates flow through unfiltered.
+            self._forward_external(packet)
+            return
+        self._submit_to_compare(packet, branch, claim)
+
+    def _submit_to_compare(
+        self, packet: Packet, branch: int, claim: Optional[int] = None
+    ) -> None:
+        self.estats.submitted += 1
+        if self._compare_core is not None:
+            # Control-plane transport: a real packet-in to the controller
+            # application hosting the compare (POX3).
+            self.stats.packet_ins += 1
+            self._send_to_controller(
+                PacketIn(
+                    datapath_id=self.datapath_id,
+                    packet=packet,
+                    in_port=self._port_by_branch[branch],
+                    reason=PACKETIN_NO_MATCH,
+                )
+            )
+            return
+        if self._compare_port_no is None:
+            raise NetworkError(f"{self.name}: no compare attachment configured")
+        tagged = packet.copy()
+        tagged.meta = {"branch": branch, "endpoint": self.name, "claim": claim}
+        self.ports[self._compare_port_no].send(tagged)
+
+    def handle_release(self, packet: Packet) -> None:
+        """Egress role: the compare released this packet; forward it on."""
+        self.estats.released_out += 1
+        claim = (packet.meta or {}).get("claim")
+        if self.mark_sources and packet.ip is not None:
+            original = self.address_registry.get(packet.ip.src)
+            if original is not None and packet.eth.src != original:
+                packet = packet.copy()  # note: clears meta; claim saved above
+                packet.eth.src = original
+        if claim is not None:
+            port = self.ports.get(claim)
+            if port is not None and port.is_wired and claim in self.external_ports():
+                port.send(packet.copy())
+                self.stats.forwarded += 1
+                return
+        self._forward_external(packet)
+
+    def _forward_external(self, packet: Packet) -> None:
+        out_port_no = self._mac_table.get(packet.eth.dst)
+        externals = self.external_ports()
+        if out_port_no is not None and out_port_no in externals:
+            self.ports[out_port_no].send(packet.copy())
+            self.stats.forwarded += 1
+            return
+        # Unknown destination: flood the external side only — never back
+        # into the untrusted bundle or at the compare.
+        self.estats.flooded += 1
+        for no in externals:
+            self.ports[no].send(packet.copy())
+        if externals:
+            self.stats.forwarded += 1
+
+    # ------------------------------------------------------------------
+    # control-plane release path (POX3) and DoS mitigation hook
+    # ------------------------------------------------------------------
+    def _apply_packet_out(self, message: PacketOut) -> None:
+        """A packet-out from the compare app is a release decision."""
+        self.stats.packet_outs += 1
+        if message.packet is not None:
+            self.handle_release(message.packet)
+
+    def compare_context(self, core_name: str = "") -> CompareContext:
+        """Build this endpoint's :class:`CompareContext` (scope + return
+        path + block hook)."""
+        return CompareContext(
+            scope=self.name,
+            release=self.handle_release,
+            block_branch=self.block_branch_ingress,
+        )
+
+    def block_branch_ingress(self, branch: int, duration: float) -> None:
+        """Block every port belonging to ``branch`` (a replica may have
+        several links in the shielded-router wiring)."""
+        for port_no, port_branch in self._branch_by_port.items():
+            if port_branch == branch:
+                self.block_port(port_no, duration)

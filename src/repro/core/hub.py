@@ -1,0 +1,58 @@
+"""The NetCo *hub*: a trusted, stateless packet multiplier.
+
+Section IV: "The implementation of the hubs is simple and can be realized
+in the datapath: the logic boils down to multiplying the packets, in a
+stateless manner."
+
+:class:`Hub` is that pure element: frames entering the upstream port are
+copied to every downstream port; frames entering any downstream port are
+merged out the upstream port.  It is used directly in the ``Dup3``/``Dup5``
+evaluation scenarios (split without combine) and in ablations; the full
+combiner endpoints (:mod:`repro.core.endpoint`) embed the same duplication
+logic alongside the compare plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.node import Node, Port
+from repro.net.packet import Packet
+from repro.sim import Simulator, TraceBus
+
+UPSTREAM_PORT = 1
+
+
+class Hub(Node):
+    """Stateless multiplier: port 1 is upstream, every other port a branch."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        trace_bus: Optional[TraceBus] = None,
+    ) -> None:
+        super().__init__(sim, name, trace_bus)
+        self.add_port(UPSTREAM_PORT)
+        self.duplicated = 0
+        self.merged = 0
+
+    def add_branch_port(self) -> Port:
+        """Add one downstream branch port."""
+        return self.add_port()
+
+    @property
+    def branch_count(self) -> int:
+        return len(self.ports) - 1
+
+    def receive(self, packet: Packet, in_port: Port) -> None:
+        if in_port.port_no == UPSTREAM_PORT:
+            for port_no, port in sorted(self.ports.items()):
+                if port_no != UPSTREAM_PORT and port.is_wired:
+                    port.send(packet.copy())
+                    self.duplicated += 1
+        else:
+            upstream = self.ports[UPSTREAM_PORT]
+            if upstream.is_wired:
+                upstream.send(packet.copy())
+                self.merged += 1

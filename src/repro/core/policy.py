@@ -1,0 +1,152 @@
+"""Comparison policies for the NetCo compare element.
+
+Section III of the paper: "depending on the threat model, packets may be
+compared bit-by-bit, or just based on the header, or hashing can be
+used."  A policy reduces a packet to a *vote key*: two copies belong to
+the same vote iff their keys are equal.
+
+The key must be insensitive to transformations a *benign* path legitimately
+applies (e.g. the per-branch VLAN tunnel label in the virtualized NetCo)
+and sensitive to everything an adversary could abuse.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable
+
+from repro.net.packet import Packet
+
+
+class ComparePolicy:
+    """Base class: maps a packet to its vote key (bytes)."""
+
+    #: human-readable policy name (used in reports and ablations)
+    name = "abstract"
+
+    def key(self, packet: Packet) -> bytes:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class BitExactPolicy(ComparePolicy):
+    """Vote on the full serialised frame — the paper's ``memcmp``.
+
+    Strongest policy: any modification (header or payload) by a minority
+    of routers is outvoted.
+    """
+
+    name = "bit-exact"
+
+    def key(self, packet: Packet) -> bytes:
+        return packet.to_bytes()
+
+
+class HeaderOnlyPolicy(ComparePolicy):
+    """Vote on the L2 + L3 headers only.
+
+    Cheaper; detects rerouting and address/VLAN rewriting, but a
+    payload-only modification by a single router wins the vote
+    undetected (transport checksums cover the payload, so they are
+    excluded too).  Included because the paper explicitly names header
+    comparison as an option — the ablation benchmark quantifies the
+    trade-off.
+    """
+
+    name = "header-only"
+
+    def key(self, packet: Packet) -> bytes:
+        parts = [packet.eth.to_bytes()]
+        if packet.vlan is not None:
+            parts.append(packet.vlan.to_bytes(packet.eth.ethertype))
+        if packet.ip is not None:
+            # IP header includes total_length, so length tampering is
+            # still caught; the payload bytes themselves are not.  Work
+            # on a copy: Ipv4.to_bytes records the length it was given.
+            from repro.net.packet import ETHERNET_HEADER_LEN, IPV4_HEADER_LEN, VLAN_TAG_LEN
+
+            overhead = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN
+            if packet.vlan is not None:
+                overhead += VLAN_TAG_LEN
+            parts.append(packet.ip.copy().to_bytes(packet.wire_len - overhead))
+        return b"".join(parts)
+
+
+class HashPolicy(ComparePolicy):
+    """Vote on a cryptographic digest of the full frame.
+
+    Same detection power as bit-exact but constant-size cache entries
+    (the paper suggests hashing to shrink compare state).
+    """
+
+    name = "hash"
+
+    def __init__(self, algorithm: str = "sha256") -> None:
+        self._algorithm = algorithm
+        # Fail fast on unknown algorithms rather than on first packet.
+        hashlib.new(algorithm)
+
+    def key(self, packet: Packet) -> bytes:
+        digest = hashlib.new(self._algorithm)
+        digest.update(packet.to_bytes())
+        return digest.digest()
+
+    def __repr__(self) -> str:
+        return f"HashPolicy({self._algorithm!r})"
+
+
+class MaskedPolicy(ComparePolicy):
+    """Wrap another policy, normalising the packet before keying.
+
+    Used where a benign mechanism legitimately differentiates the copies:
+    the virtualized NetCo tunnels copies over per-path VLAN tags, so the
+    egress compare strips the tag before voting; source-marked combiner
+    endpoints rewrite ``dl_src`` per branch, so the compare masks it.
+    """
+
+    name = "masked"
+
+    def __init__(
+        self,
+        inner: ComparePolicy,
+        normalise: Callable[[Packet], Packet],
+        name: str = "masked",
+    ) -> None:
+        self._inner = inner
+        self._normalise = normalise
+        self.name = name
+
+    def key(self, packet: Packet) -> bytes:
+        return self._inner.key(self._normalise(packet))
+
+    def __repr__(self) -> str:
+        return f"MaskedPolicy({self._inner!r}, name={self.name!r})"
+
+
+def strip_vlan_policy(inner: ComparePolicy) -> MaskedPolicy:
+    """A policy that ignores the VLAN tag (virtualized NetCo tunnels)."""
+
+    def normalise(packet: Packet) -> Packet:
+        if packet.vlan is None:
+            return packet
+        stripped = packet.copy()
+        stripped.vlan = None
+        return stripped
+
+    return MaskedPolicy(inner, normalise, name=f"{inner.name}+strip-vlan")
+
+
+def mask_src_mac_policy(inner: ComparePolicy) -> MaskedPolicy:
+    """A policy that ignores ``dl_src`` (source-marked endpoints)."""
+    from repro.net.addresses import MacAddress
+
+    zero = MacAddress(0)
+
+    def normalise(packet: Packet) -> Packet:
+        masked = packet.copy()
+        masked.eth.src = zero
+        return masked
+
+    return MaskedPolicy(inner, normalise, name=f"{inner.name}+mask-src")

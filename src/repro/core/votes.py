@@ -1,0 +1,190 @@
+"""Majority-vote bookkeeping for the compare element.
+
+The paper's compare caches each distinct packet together with the set of
+ingress ports it was received on, and releases a single copy "once a
+packet has been received on the majority of the possible ingress ports".
+:class:`VoteBook` is that cache as a pure data structure (no simulator
+dependencies), which keeps it unit- and property-testable in isolation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterator, List, Optional
+
+from repro.net.packet import Packet
+
+
+class VoteEntry:
+    """State for one distinct packet (one vote key)."""
+
+    __slots__ = (
+        "key",
+        "packet",
+        "first_seen",
+        "deadline",
+        "branch_counts",
+        "released",
+        "released_at",
+        "claim",
+    )
+
+    def __init__(
+        self,
+        key: Hashable,
+        packet: Packet,
+        first_seen: float,
+        deadline: float,
+        claim: Optional[int] = None,
+    ) -> None:
+        self.key = key
+        self.packet = packet
+        self.first_seen = first_seen
+        self.deadline = deadline
+        self.branch_counts: Dict[int, int] = {}
+        self.released = False
+        self.released_at: Optional[float] = None
+        self.claim = claim
+
+    @property
+    def distinct_branches(self) -> int:
+        return len(self.branch_counts)
+
+    def branches(self) -> List[int]:
+        return sorted(self.branch_counts)
+
+    def total_copies(self) -> int:
+        return sum(self.branch_counts.values())
+
+    def missing_branches(self, all_branches: List[int]) -> List[int]:
+        return [b for b in all_branches if b not in self.branch_counts]
+
+    def __repr__(self) -> str:
+        state = "released" if self.released else "pending"
+        return (
+            f"VoteEntry(branches={self.branches()}, copies={self.total_copies()}, "
+            f"{state})"
+        )
+
+
+@dataclass(frozen=True)
+class VoteOutcome:
+    """Result of observing one packet copy."""
+
+    entry: VoteEntry
+    is_new_entry: bool
+    is_branch_duplicate: bool  # same branch delivered this packet before
+    newly_released: bool  # this copy completed the quorum
+    late_copy: bool  # arrived after the entry was already released
+    #: an unreleased entry whose deadline had passed when this copy
+    #: arrived; it was evicted and this copy started a fresh vote — the
+    #: bounded-waiting-time rule of Section IV, enforced strictly
+    evicted_stale: Optional[VoteEntry] = None
+
+
+class VoteBook:
+    """The compare cache: vote key -> :class:`VoteEntry` (insertion order).
+
+    Entries persist until their deadline even after release (tombstones),
+    both to ignore straggler copies — "if additional packets arrive later,
+    they are ignored" — and to detect replay by a malicious router.
+    """
+
+    def __init__(self, quorum: int, timeout: float) -> None:
+        if quorum < 1:
+            raise ValueError(f"quorum must be >= 1, got {quorum}")
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self.quorum = quorum
+        self.timeout = timeout
+        self._entries: "OrderedDict[Hashable, VoteEntry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable) -> Optional[VoteEntry]:
+        return self._entries.get(key)
+
+    def entries(self) -> Iterator[VoteEntry]:
+        return iter(list(self._entries.values()))
+
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        key: Hashable,
+        branch: int,
+        now: float,
+        packet: Packet,
+        claim: Optional[int] = None,
+    ) -> VoteOutcome:
+        """Record that ``branch`` delivered a copy keyed ``key``.
+
+        Returns the outcome; the caller (the compare element) decides what
+        to do about releases, duplicates and alarms.
+        """
+        entry = self._entries.get(key)
+        evicted_stale: Optional[VoteEntry] = None
+        if entry is not None and not entry.released and entry.deadline <= now:
+            # The deadline passed before this copy arrived: the old vote
+            # must not be completable any more (bounded waiting time).
+            evicted_stale = entry
+            del self._entries[key]
+            entry = None
+        is_new = entry is None
+        if entry is None:
+            entry = VoteEntry(
+                key=key,
+                packet=packet,
+                first_seen=now,
+                deadline=now + self.timeout,
+                claim=claim,
+            )
+            self._entries[key] = entry
+        is_branch_duplicate = branch in entry.branch_counts
+        entry.branch_counts[branch] = entry.branch_counts.get(branch, 0) + 1
+        late = entry.released
+        newly_released = False
+        if not entry.released and entry.distinct_branches >= self.quorum:
+            entry.released = True
+            entry.released_at = now
+            newly_released = True
+        return VoteOutcome(
+            entry=entry,
+            is_new_entry=is_new,
+            is_branch_duplicate=is_branch_duplicate,
+            newly_released=newly_released,
+            late_copy=late,
+            evicted_stale=evicted_stale,
+        )
+
+    # ------------------------------------------------------------------
+    def pop_expired(self, now: float) -> List[VoteEntry]:
+        """Remove and return every entry whose deadline has passed."""
+        expired: List[VoteEntry] = []
+        for key, entry in list(self._entries.items()):
+            if entry.deadline <= now:
+                expired.append(entry)
+                del self._entries[key]
+        return expired
+
+    def evict_oldest(self, count: int) -> List[VoteEntry]:
+        """Forcibly remove the ``count`` oldest entries (cache pressure)."""
+        evicted: List[VoteEntry] = []
+        for _ in range(min(count, len(self._entries))):
+            _key, entry = self._entries.popitem(last=False)
+            evicted.append(entry)
+        return evicted
+
+    def pending(self) -> List[VoteEntry]:
+        """Entries that have not reached quorum (suspicious if they expire)."""
+        return [e for e in self._entries.values() if not e.released]
+
+    def released(self) -> List[VoteEntry]:
+        return [e for e in self._entries.values() if e.released]
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,213 @@
+"""ARP (RFC 826) for the simulated hosts.
+
+The traffic generators pass destination MACs explicitly (as the paper's
+static experiments do), but a realistic L2 fabric needs resolution:
+broadcast who-has requests, unicast is-at replies, caching with timeout,
+retries, and pending-packet queues.  :class:`ArpService` provides all of
+that and hooks into :class:`~repro.net.host.Host` via ``attach_arp``.
+
+ARP frames ride ``ETH_TYPE_ARP`` with a real RFC 826 payload encoding,
+so they traverse switches, hubs and combiners like any other frame —
+and get voted on by the compare like any other frame (a combiner
+replicates and recombines broadcasts correctly; see the tests).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.net.addresses import IpAddress, MacAddress
+from repro.net.host import Host
+from repro.net.packet import ETH_TYPE_ARP, Ethernet, Packet
+
+ARP_REQUEST = 1
+ARP_REPLY = 2
+
+_ARP_STRUCT = struct.Struct("!HHBBH6s4s6s4s")
+
+
+class ArpPayload:
+    """The RFC 826 ARP body for Ethernet/IPv4."""
+
+    __slots__ = ("op", "sender_mac", "sender_ip", "target_mac", "target_ip")
+
+    def __init__(
+        self,
+        op: int,
+        sender_mac: MacAddress,
+        sender_ip: IpAddress,
+        target_mac: MacAddress,
+        target_ip: IpAddress,
+    ) -> None:
+        self.op = op
+        self.sender_mac = MacAddress(sender_mac)
+        self.sender_ip = IpAddress(sender_ip)
+        self.target_mac = MacAddress(target_mac)
+        self.target_ip = IpAddress(target_ip)
+
+    def to_bytes(self) -> bytes:
+        return _ARP_STRUCT.pack(
+            1,  # hardware type: Ethernet
+            0x0800,  # protocol type: IPv4
+            6,  # hardware size
+            4,  # protocol size
+            self.op,
+            self.sender_mac.to_bytes(),
+            self.sender_ip.to_bytes(),
+            self.target_mac.to_bytes(),
+            self.target_ip.to_bytes(),
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> Optional["ArpPayload"]:
+        if len(data) < _ARP_STRUCT.size:
+            return None
+        htype, ptype, hsize, psize, op, sha, spa, tha, tpa = _ARP_STRUCT.unpack_from(
+            data
+        )
+        if (htype, ptype, hsize, psize) != (1, 0x0800, 6, 4):
+            return None
+        return cls(op, MacAddress(sha), IpAddress(spa), MacAddress(tha), IpAddress(tpa))
+
+    def __repr__(self) -> str:
+        kind = {ARP_REQUEST: "who-has", ARP_REPLY: "is-at"}.get(self.op, str(self.op))
+        return f"Arp({kind} {self.target_ip} tell {self.sender_ip})"
+
+
+ResolveCallback = Callable[[Optional[MacAddress]], None]
+
+
+class ArpService:
+    """Resolver + responder attached to one host."""
+
+    def __init__(
+        self,
+        host: Host,
+        cache_timeout: float = 60.0,
+        retry_interval: float = 1e-3,
+        max_retries: int = 3,
+    ) -> None:
+        self.host = host
+        self.cache_timeout = cache_timeout
+        self.retry_interval = retry_interval
+        self.max_retries = max_retries
+        self._cache: Dict[IpAddress, Tuple[MacAddress, float]] = {}
+        self._pending: Dict[IpAddress, List[ResolveCallback]] = {}
+        self._retry_counts: Dict[IpAddress, int] = {}
+        self.requests_sent = 0
+        self.replies_sent = 0
+        self.resolutions = 0
+        self.failures = 0
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def resolve(self, ip: IpAddress, callback: ResolveCallback) -> None:
+        """Invoke ``callback`` with the MAC for ``ip`` (or None on
+        timeout).  Served from cache when fresh."""
+        ip = IpAddress(ip)
+        cached = self.lookup(ip)
+        if cached is not None:
+            callback(cached)
+            return
+        waiters = self._pending.setdefault(ip, [])
+        waiters.append(callback)
+        if len(waiters) == 1:
+            self._retry_counts[ip] = 0
+            self._send_request(ip)
+
+    def lookup(self, ip: IpAddress) -> Optional[MacAddress]:
+        """Non-blocking cache lookup (expired entries evicted)."""
+        entry = self._cache.get(IpAddress(ip))
+        if entry is None:
+            return None
+        mac, stored_at = entry
+        if self.host.sim.now - stored_at > self.cache_timeout:
+            del self._cache[IpAddress(ip)]
+            return None
+        return mac
+
+    def _send_request(self, ip: IpAddress) -> None:
+        self.requests_sent += 1
+        request = Packet(
+            Ethernet(MacAddress.BROADCAST, self.host.mac, ETH_TYPE_ARP),
+            payload=ArpPayload(
+                ARP_REQUEST,
+                sender_mac=self.host.mac,
+                sender_ip=self.host.ip,
+                target_mac=MacAddress(0),
+                target_ip=ip,
+            ).to_bytes(),
+        )
+        self.host.send(request)
+        self.host.sim.schedule(self.retry_interval, lambda: self._maybe_retry(ip))
+
+    def _maybe_retry(self, ip: IpAddress) -> None:
+        if ip not in self._pending:
+            return  # already resolved
+        self._retry_counts[ip] = self._retry_counts.get(ip, 0) + 1
+        if self._retry_counts[ip] >= self.max_retries:
+            self.failures += 1
+            for callback in self._pending.pop(ip, ()):
+                callback(None)
+            return
+        self._send_request(ip)
+
+    # ------------------------------------------------------------------
+    # frame handling (wired in by attach_arp)
+    # ------------------------------------------------------------------
+    def handle_frame(self, packet: Packet) -> bool:
+        """Process an ARP frame; returns True if it was one."""
+        if packet.eth.ethertype != ETH_TYPE_ARP:
+            return False
+        arp = ArpPayload.from_bytes(packet.payload)
+        if arp is None:
+            return True  # malformed ARP: swallow
+        # opportunistic learning from any ARP frame
+        self._learn(arp.sender_ip, arp.sender_mac)
+        if arp.op == ARP_REQUEST and arp.target_ip == self.host.ip:
+            self.replies_sent += 1
+            reply = Packet(
+                Ethernet(arp.sender_mac, self.host.mac, ETH_TYPE_ARP),
+                payload=ArpPayload(
+                    ARP_REPLY,
+                    sender_mac=self.host.mac,
+                    sender_ip=self.host.ip,
+                    target_mac=arp.sender_mac,
+                    target_ip=arp.sender_ip,
+                ).to_bytes(),
+            )
+            self.host.send(reply)
+        return True
+
+    def _learn(self, ip: IpAddress, mac: MacAddress) -> None:
+        self._cache[ip] = (mac, self.host.sim.now)
+        waiters = self._pending.pop(ip, None)
+        if waiters:
+            self.resolutions += len(waiters)
+            for callback in waiters:
+                callback(mac)
+
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+
+def attach_arp(host: Host, **kwargs) -> ArpService:
+    """Install an :class:`ArpService` on a host.
+
+    ARP frames are intercepted ahead of the host's raw handler; all
+    other traffic is unaffected.
+    """
+    service = ArpService(host, **kwargs)
+    previous_raw = host._raw_handler
+
+    def raw_with_arp(packet: Packet) -> None:
+        if service.handle_frame(packet):
+            return
+        if previous_raw is not None:
+            previous_raw(packet)
+
+    host.bind_raw(raw_with_arp)
+    host.arp = service  # type: ignore[attr-defined]
+    return service

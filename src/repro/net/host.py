@@ -1,0 +1,214 @@
+"""End hosts with a small protocol stack.
+
+A :class:`Host` owns one network port, a MAC and an IPv4 address, and a
+demultiplexer that hands received packets to registered protocol agents:
+
+* UDP agents register by destination port,
+* TCP agents register by destination port,
+* one ICMP agent may be registered (a default echo responder is installed
+  so every host answers pings, like a Mininet host would).
+
+Hosts model a small, configurable stack traversal delay (``stack_delay``),
+which contributes to end-to-end RTT exactly as the kernel stack does in
+the paper's Mininet measurements.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+from repro.net.addresses import IpAddress, MacAddress
+from repro.net.node import NetworkError, Node, Port
+from repro.net.packet import (
+    ICMP_ECHO_REQUEST,
+    Icmp,
+    Packet,
+    Tcp,
+    Udp,
+)
+from repro.sim import Simulator, TraceBus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+PacketHandler = Callable[[Packet], None]
+
+
+class Host(Node):
+    """A single-homed end host."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        mac: MacAddress,
+        ip: IpAddress,
+        trace_bus: Optional[TraceBus] = None,
+        stack_delay: float = 0.0,
+        stack_jitter: float = 0.0,
+        rng=None,
+        recv_cost_base: float = 0.0,
+        recv_cost_per_byte: float = 0.0,
+        promiscuous: bool = False,
+    ) -> None:
+        super().__init__(sim, name, trace_bus)
+        self.mac = MacAddress(mac)
+        self.ip = IpAddress(ip)
+        self.stack_delay = stack_delay
+        # OS-scheduling noise: uniform extra delay in [0, stack_jitter)
+        # added per stack traversal (needs an rng to be active).
+        self.stack_jitter = stack_jitter
+        self._rng = rng
+        # Per-packet receive CPU cost (single server): base + per_byte *
+        # wire length.  This models the kernel's per-packet+copy cost and
+        # is what makes receiving k duplicate copies (Dup3/Dup5) expensive.
+        self.recv_cost_base = recv_cost_base
+        self.recv_cost_per_byte = recv_cost_per_byte
+        # One CPU per host: receives are served FIFO, and sends wait for
+        # the CPU to be free (so a burst of duplicate arrivals delays the
+        # host's own transmissions — the paper's "buffered on exiting the
+        # NetCo design and the destination host").
+        self._cpu_busy_until = 0.0
+        # Socket-buffer analogue: arrivals waiting for the CPU beyond
+        # this bound are dropped, like a full SO_RCVBUF.
+        self.recv_queue_capacity = 128
+        self._recv_queued = 0
+        self.rx_dropped = 0
+        self.promiscuous = promiscuous
+        self._udp_handlers: Dict[int, PacketHandler] = {}
+        self._tcp_handlers: Dict[int, PacketHandler] = {}
+        self._icmp_handler: Optional[PacketHandler] = None
+        self._raw_handler: Optional[PacketHandler] = None
+        self._ip_ident = 0
+        self.rx_foreign = 0  # frames addressed to someone else (screening)
+        self.add_port(1)
+        self.enable_echo_responder()
+
+    # ------------------------------------------------------------------
+    # agent registration
+    # ------------------------------------------------------------------
+    def bind_udp(self, port: int, handler: PacketHandler) -> None:
+        if port in self._udp_handlers:
+            raise NetworkError(f"{self.name}: UDP port {port} already bound")
+        self._udp_handlers[port] = handler
+
+    def unbind_udp(self, port: int) -> None:
+        self._udp_handlers.pop(port, None)
+
+    def bind_tcp(self, port: int, handler: PacketHandler) -> None:
+        if port in self._tcp_handlers:
+            raise NetworkError(f"{self.name}: TCP port {port} already bound")
+        self._tcp_handlers[port] = handler
+
+    def unbind_tcp(self, port: int) -> None:
+        self._tcp_handlers.pop(port, None)
+
+    def bind_icmp(self, handler: PacketHandler) -> None:
+        self._icmp_handler = handler
+
+    def bind_raw(self, handler: PacketHandler) -> None:
+        """Receive every accepted frame (after specific handlers)."""
+        self._raw_handler = handler
+
+    def enable_echo_responder(self) -> None:
+        """Install the default ping responder (idempotent)."""
+        self._icmp_handler = self._echo_responder
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def next_ip_ident(self) -> int:
+        """Monotone IPv4 identification counter (makes packets unique)."""
+        self._ip_ident = (self._ip_ident + 1) & 0xFFFF
+        return self._ip_ident
+
+    def send(self, packet: Packet) -> None:
+        """Transmit a fully-formed frame after the stack traversal delay.
+
+        The transmission waits for the host CPU if the receive path is
+        busy serving queued arrivals.
+        """
+        depart = max(self.sim.now, self._cpu_busy_until) + self._stack_traversal()
+        if depart <= self.sim.now:
+            self.port(1).send(packet)
+        else:
+            self.sim.schedule_at(depart, lambda: self.port(1).send(packet))
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet, in_port: Port) -> None:
+        dst = packet.eth.dst
+        if dst != self.mac and not dst.is_broadcast and not self.promiscuous:
+            self.rx_foreign += 1
+            self.trace("host.foreign_frame", packet=packet)
+            return
+        cost = self.recv_cost_base + self.recv_cost_per_byte * packet.wire_len
+        if cost <= 0 and self.stack_delay <= 0:
+            self._dispatch(packet)
+            return
+        if self._recv_queued >= self.recv_queue_capacity:
+            self.rx_dropped += 1
+            self.trace("host.rx_drop", packet=packet)
+            return
+        # Single-server receive path: packets queue behind the stack.
+        start = max(self.sim.now, self._cpu_busy_until)
+        finish = start + cost
+        self._cpu_busy_until = finish
+        self._recv_queued += 1
+
+        def _deliver() -> None:
+            self._recv_queued -= 1
+            self._dispatch(packet)
+
+        self.sim.schedule_at(finish + self._stack_traversal(), _deliver)
+
+    def _stack_traversal(self) -> float:
+        if self.stack_jitter > 0.0 and self._rng is not None:
+            return self.stack_delay + self._rng.random() * self.stack_jitter
+        return self.stack_delay
+
+    def _dispatch(self, packet: Packet) -> None:
+        handled = False
+        if isinstance(packet.l4, Udp):
+            handler = self._udp_handlers.get(packet.l4.dport)
+            if handler is not None:
+                handler(packet)
+                handled = True
+        elif isinstance(packet.l4, Tcp):
+            handler = self._tcp_handlers.get(packet.l4.dport)
+            if handler is not None:
+                handler(packet)
+                handled = True
+        elif isinstance(packet.l4, Icmp):
+            if self._icmp_handler is not None:
+                self._icmp_handler(packet)
+                handled = True
+        if self._raw_handler is not None:
+            self._raw_handler(packet)
+            handled = True
+        if not handled:
+            self.trace("host.unhandled", packet=packet)
+
+    # ------------------------------------------------------------------
+    # default ICMP echo behaviour
+    # ------------------------------------------------------------------
+    def _echo_responder(self, packet: Packet) -> None:
+        icmp = packet.l4
+        if not isinstance(icmp, Icmp) or icmp.icmp_type != ICMP_ECHO_REQUEST:
+            return
+        if packet.ip is None or packet.ip.dst != self.ip:
+            return
+        reply = Packet.icmp_echo(
+            src_mac=self.mac,
+            dst_mac=packet.eth.src,
+            src_ip=self.ip,
+            dst_ip=packet.ip.src,
+            ident=icmp.ident,
+            seqno=icmp.seqno,
+            reply=True,
+            payload=packet.payload,
+            ip_ident=self.next_ip_ident(),
+        )
+        self.trace("host.echo_reply", to=str(packet.ip.src), seq=icmp.seqno)
+        self.send(reply)

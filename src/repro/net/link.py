@@ -1,0 +1,194 @@
+"""Duplex link model with bandwidth, delay, loss and drop-tail queueing.
+
+Each direction of a link is an independent transmitter: packets are
+serialised at the link rate (``wire_len * 8 / rate_bps`` seconds), waiting
+packets occupy a bounded drop-tail queue, and delivery to the far end is
+delayed by the propagation delay.  Random loss (if configured) is drawn
+from a named RNG stream so runs are reproducible.
+
+This is the simulator analogue of Mininet's ``TCLink``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim import RngStreams, Simulator, TraceBus
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.net.node import Port
+    from repro.net.packet import Packet
+
+
+class LinkStats:
+    """Per-direction link counters."""
+
+    __slots__ = (
+        "tx_packets",
+        "tx_bytes",
+        "delivered_packets",
+        "delivered_bytes",
+        "queue_drops",
+        "loss_drops",
+    )
+
+    def __init__(self) -> None:
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.delivered_packets = 0
+        self.delivered_bytes = 0
+        self.queue_drops = 0
+        self.loss_drops = 0
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class _Direction:
+    """One direction of a duplex link (a single-server FIFO transmitter)."""
+
+    def __init__(
+        self,
+        link: "Link",
+        name: str,
+        rate_bps: Optional[float],
+        delay: float,
+        loss: float,
+        queue_capacity: int,
+    ) -> None:
+        self._link = link
+        self._name = name
+        self._rate_bps = rate_bps
+        self._delay = delay
+        self._loss = loss
+        self._queue_capacity = queue_capacity
+        self._busy_until = 0.0
+        self._queued = 0  # packets serialised or waiting to serialise
+        self.stats = LinkStats()
+
+    def transmit(self, packet: "Packet", deliver_to: "Port") -> None:
+        sim = self._link.sim
+        now = sim.now
+        if self._queued >= self._queue_capacity:
+            self.stats.queue_drops += 1
+            self._link.trace(now, "link.drop", self._name, reason="queue", packet=packet)
+            return
+        wire_len = packet.wire_len
+        self.stats.tx_packets += 1
+        self.stats.tx_bytes += wire_len
+        if self._rate_bps is None:
+            finish = now
+        else:
+            start = max(now, self._busy_until)
+            finish = start + wire_len * 8.0 / self._rate_bps
+            self._busy_until = finish
+        self._queued += 1
+        arrive = finish + self._delay
+
+        lost = False
+        if self._loss > 0.0:
+            lost = self._link.rng.random() < self._loss
+
+        def _complete() -> None:
+            self._queued -= 1
+            if lost:
+                self.stats.loss_drops += 1
+                self._link.trace(
+                    sim.now, "link.drop", self._name, reason="loss", packet=packet
+                )
+                return
+            self.stats.delivered_packets += 1
+            self.stats.delivered_bytes += wire_len
+            deliver_to.deliver(packet)
+
+        sim.schedule_at(arrive, _complete)
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queued
+
+    @property
+    def utilisation_horizon(self) -> float:
+        """Simulated time until the transmitter drains (>= now when busy)."""
+        return self._busy_until
+
+
+class Link:
+    """A duplex point-to-point link between two node ports.
+
+    Args:
+        sim: shared simulator.
+        a, b: the two endpoints (ports); the link registers itself on both.
+        rate_bps: link rate in bits/second (``None`` = infinitely fast).
+        delay: one-way propagation delay in seconds.
+        loss: independent per-packet loss probability in [0, 1).
+        queue_capacity: drop-tail queue bound, in packets, per direction.
+    """
+
+
+    def __init__(
+        self,
+        sim: Simulator,
+        a: "Port",
+        b: "Port",
+        rate_bps: Optional[float] = None,
+        delay: float = 0.0,
+        loss: float = 0.0,
+        queue_capacity: int = 100,
+        trace_bus: Optional[TraceBus] = None,
+        rng_streams: Optional[RngStreams] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if not 0.0 <= loss < 1.0:
+            raise ValueError(f"loss probability out of range: {loss}")
+        if delay < 0.0:
+            raise ValueError(f"negative delay: {delay}")
+        if queue_capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1: {queue_capacity}")
+        self.sim = sim
+        # The default name is derived from the endpoints (not a global
+        # counter) so RNG stream names — and hence loss draws — are
+        # reproducible run-to-run.
+        self.name = name or f"{a.full_name}--{b.full_name}"
+        self._trace_bus = trace_bus
+        streams = rng_streams or RngStreams(0)
+        self.rng = streams.stream(f"link.{self.name}.loss")
+        self.a = a
+        self.b = b
+        self._a_to_b = _Direction(
+            self, f"{self.name}:{a.full_name}->{b.full_name}",
+            rate_bps, delay, loss, queue_capacity,
+        )
+        self._b_to_a = _Direction(
+            self, f"{self.name}:{b.full_name}->{a.full_name}",
+            rate_bps, delay, loss, queue_capacity,
+        )
+        a.attach_link(self)
+        b.attach_link(self)
+
+    def send_from(self, src_port: "Port", packet: "Packet") -> None:
+        """Transmit ``packet`` out of ``src_port`` toward the other end."""
+        if src_port is self.a:
+            self._a_to_b.transmit(packet, self.b)
+        elif src_port is self.b:
+            self._b_to_a.transmit(packet, self.a)
+        else:
+            raise ValueError(f"port {src_port.full_name} is not an endpoint of {self.name}")
+
+    def peer_of(self, port: "Port") -> "Port":
+        if port is self.a:
+            return self.b
+        if port is self.b:
+            return self.a
+        raise ValueError(f"port {port.full_name} is not an endpoint of {self.name}")
+
+    def direction_stats(self, src_port: "Port") -> LinkStats:
+        if src_port is self.a:
+            return self._a_to_b.stats
+        if src_port is self.b:
+            return self._b_to_a.stats
+        raise ValueError(f"port {src_port.full_name} is not an endpoint of {self.name}")
+
+    def trace(self, time: float, topic: str, source: str, **data: object) -> None:
+        if self._trace_bus is not None:
+            self._trace_bus.emit(time, topic, source, **data)

@@ -1,0 +1,134 @@
+"""Base node and port abstractions.
+
+A :class:`Node` is anything attached to the network: a host, an OpenFlow
+switch, a trusted hub, or the compare server.  Nodes own numbered
+:class:`Port` objects; links connect ports pairwise.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.sim import Simulator, TraceBus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.link import Link
+    from repro.net.packet import Packet
+
+
+class NetworkError(Exception):
+    """Raised on invalid wiring or node configuration."""
+
+
+class Port:
+    """A numbered attachment point on a node."""
+
+    __slots__ = ("node", "port_no", "link", "rx_packets", "rx_bytes", "tx_packets",
+                 "tx_bytes", "taps", "blocked_until")
+
+    def __init__(self, node: "Node", port_no: int) -> None:
+        self.node = node
+        self.port_no = port_no
+        self.link: Optional["Link"] = None
+        self.rx_packets = 0
+        self.rx_bytes = 0
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        # tcpdump-style observers: called on every received packet.
+        self.taps: List[Callable[["Packet"], None]] = []
+        # A port may be administratively blocked (compare DoS mitigation).
+        self.blocked_until: float = 0.0
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.node.name}.p{self.port_no}"
+
+    def attach_link(self, link: "Link") -> None:
+        if self.link is not None:
+            raise NetworkError(f"port {self.full_name} already wired")
+        self.link = link
+
+    @property
+    def is_wired(self) -> bool:
+        return self.link is not None
+
+    @property
+    def peer(self) -> Optional["Port"]:
+        """The port at the other end of the attached link, if wired."""
+        if self.link is None:
+            return None
+        return self.link.peer_of(self)
+
+    def send(self, packet: "Packet") -> None:
+        """Transmit a packet out of this port (drops if unwired/blocked)."""
+        if self.link is None:
+            return
+        now = self.node.sim.now
+        if now < self.blocked_until:
+            self.node.trace("port.blocked_drop", port=self.port_no, packet=packet)
+            return
+        self.tx_packets += 1
+        self.tx_bytes += packet.wire_len
+        self.link.send_from(self, packet)
+
+    def deliver(self, packet: "Packet") -> None:
+        """Called by the link when a packet arrives at this port."""
+        self.rx_packets += 1
+        self.rx_bytes += packet.wire_len
+        for tap in self.taps:
+            tap(packet)
+        now = self.node.sim.now
+        if now < self.blocked_until:
+            self.node.trace("port.blocked_drop", port=self.port_no, packet=packet)
+            return
+        self.node.receive(packet, self)
+
+    def block_for(self, duration: float) -> None:
+        """Administratively block this port for ``duration`` seconds."""
+        self.blocked_until = max(self.blocked_until, self.node.sim.now + duration)
+
+    def __repr__(self) -> str:
+        wired = "wired" if self.is_wired else "unwired"
+        return f"Port({self.full_name}, {wired})"
+
+
+class Node:
+    """Base class for all network elements."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        trace_bus: Optional[TraceBus] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.trace_bus = trace_bus
+        self.ports: Dict[int, Port] = {}
+
+    def add_port(self, port_no: Optional[int] = None) -> Port:
+        """Create a new port; auto-numbers from 1 when not specified."""
+        if port_no is None:
+            port_no = max(self.ports, default=0) + 1
+        if port_no in self.ports:
+            raise NetworkError(f"{self.name} already has port {port_no}")
+        port = Port(self, port_no)
+        self.ports[port_no] = port
+        return port
+
+    def port(self, port_no: int) -> Port:
+        try:
+            return self.ports[port_no]
+        except KeyError:
+            raise NetworkError(f"{self.name} has no port {port_no}") from None
+
+    def receive(self, packet: "Packet", in_port: Port) -> None:
+        """Handle a packet arriving on ``in_port``.  Subclasses override."""
+        raise NotImplementedError
+
+    def trace(self, topic: str, **data: object) -> None:
+        if self.trace_bus is not None:
+            self.trace_bus.emit(self.sim.now, topic, self.name, **data)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name}, ports={sorted(self.ports)})"

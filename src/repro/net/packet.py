@@ -1,0 +1,577 @@
+"""Packet model: Ethernet / 802.1Q / IPv4 / UDP / TCP / ICMP.
+
+Headers are small mutable dataclass-like objects with deterministic binary
+encodings (network byte order, real Internet checksums).  Determinism
+matters because the NetCo compare element votes on *exact packet bytes*,
+mirroring the ``memcmp`` comparison in the paper's C prototype: two benign
+routers forwarding the same packet must yield bit-identical buffers, while
+any adversarial header rewrite must change the buffer.
+
+A :class:`Packet` is a stack ``ethernet [vlan] [ipv4 [udp|tcp|icmp]]`` plus
+an opaque payload.  ``Packet.to_bytes()`` serialises the full frame and
+``Packet.parse()`` round-trips it.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple, Union
+
+from repro.net.addresses import IpAddress, MacAddress
+
+# EtherTypes
+ETH_TYPE_IPV4 = 0x0800
+ETH_TYPE_ARP = 0x0806
+ETH_TYPE_VLAN = 0x8100
+
+# IP protocol numbers
+IP_PROTO_ICMP = 1
+IP_PROTO_TCP = 6
+IP_PROTO_UDP = 17
+
+# TCP flags
+TCP_FIN = 0x01
+TCP_SYN = 0x02
+TCP_RST = 0x04
+TCP_PSH = 0x08
+TCP_ACK = 0x10
+# The ECE bit position, reused to signal "this duplicate ACK carries a
+# DSACK block" (RFC 2883).  Our 20-byte header has no options space, so
+# the receiver flags DSACK-bearing ACKs here and a SACK-capable sender
+# excludes them from its duplicate-ACK count — the behaviour that lets
+# real Linux TCP shrug off the duplicated deliveries of the Dup3/Dup5
+# scenarios instead of collapsing under spurious fast retransmits.
+TCP_DSACK = 0x40
+
+# ICMP types
+ICMP_ECHO_REPLY = 0
+ICMP_ECHO_REQUEST = 8
+
+ETHERNET_HEADER_LEN = 14
+VLAN_TAG_LEN = 4
+IPV4_HEADER_LEN = 20
+UDP_HEADER_LEN = 8
+TCP_HEADER_LEN = 20
+ICMP_HEADER_LEN = 8
+
+
+class PacketError(Exception):
+    """Raised on malformed packet construction or parsing."""
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 ones-complement checksum over ``data``."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for (word,) in struct.iter_unpack("!H", data):
+        total += word
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+class Ethernet:
+    """Ethernet II header (no FCS; the simulator has no bit errors)."""
+
+    __slots__ = ("dst", "src", "ethertype")
+
+    def __init__(
+        self,
+        dst: MacAddress,
+        src: MacAddress,
+        ethertype: int = ETH_TYPE_IPV4,
+    ) -> None:
+        self.dst = MacAddress(dst)
+        self.src = MacAddress(src)
+        self.ethertype = ethertype
+
+    def to_bytes(self) -> bytes:
+        return self.dst.to_bytes() + self.src.to_bytes() + struct.pack("!H", self.ethertype)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> Tuple["Ethernet", bytes]:
+        if len(data) < ETHERNET_HEADER_LEN:
+            raise PacketError("truncated Ethernet header")
+        dst = MacAddress(data[0:6])
+        src = MacAddress(data[6:12])
+        (ethertype,) = struct.unpack("!H", data[12:14])
+        return cls(dst, src, ethertype), data[14:]
+
+    def copy(self) -> "Ethernet":
+        return Ethernet(self.dst, self.src, self.ethertype)
+
+    def __repr__(self) -> str:
+        return f"Ethernet({self.src} -> {self.dst}, type={self.ethertype:#06x})"
+
+
+class Vlan:
+    """An 802.1Q tag (PCP + VID); inserted after the Ethernet header."""
+
+    __slots__ = ("vid", "pcp")
+
+    def __init__(self, vid: int, pcp: int = 0) -> None:
+        if not 0 <= vid < 4096:
+            raise PacketError(f"VLAN id out of range: {vid}")
+        if not 0 <= pcp < 8:
+            raise PacketError(f"VLAN priority out of range: {pcp}")
+        self.vid = vid
+        self.pcp = pcp
+
+    def to_bytes(self, inner_ethertype: int) -> bytes:
+        tci = (self.pcp << 13) | self.vid
+        return struct.pack("!HH", tci, inner_ethertype)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> Tuple["Vlan", int, bytes]:
+        if len(data) < VLAN_TAG_LEN:
+            raise PacketError("truncated VLAN tag")
+        tci, inner_ethertype = struct.unpack("!HH", data[:4])
+        return cls(vid=tci & 0x0FFF, pcp=tci >> 13), inner_ethertype, data[4:]
+
+    def copy(self) -> "Vlan":
+        return Vlan(self.vid, self.pcp)
+
+    def __repr__(self) -> str:
+        return f"Vlan(vid={self.vid}, pcp={self.pcp})"
+
+
+class Ipv4:
+    """IPv4 header (20 bytes, no options)."""
+
+    __slots__ = ("src", "dst", "proto", "ttl", "ident", "tos", "total_length")
+
+    def __init__(
+        self,
+        src: IpAddress,
+        dst: IpAddress,
+        proto: int,
+        ttl: int = 64,
+        ident: int = 0,
+        tos: int = 0,
+    ) -> None:
+        self.src = IpAddress(src)
+        self.dst = IpAddress(dst)
+        self.proto = proto
+        self.ttl = ttl
+        self.ident = ident & 0xFFFF
+        self.tos = tos
+        # Filled in at serialisation time from actual packet contents.
+        self.total_length = 0
+
+    def to_bytes(self, payload_len: int) -> bytes:
+        self.total_length = IPV4_HEADER_LEN + payload_len
+        header = struct.pack(
+            "!BBHHHBBH4s4s",
+            (4 << 4) | 5,  # version=4, ihl=5
+            self.tos,
+            self.total_length,
+            self.ident,
+            0,  # flags/fragment offset: never fragmented in the simulator
+            self.ttl,
+            self.proto,
+            0,  # checksum placeholder
+            self.src.to_bytes(),
+            self.dst.to_bytes(),
+        )
+        checksum = internet_checksum(header)
+        return header[:10] + struct.pack("!H", checksum) + header[12:]
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> Tuple["Ipv4", bytes]:
+        if len(data) < IPV4_HEADER_LEN:
+            raise PacketError("truncated IPv4 header")
+        (
+            ver_ihl,
+            tos,
+            total_length,
+            ident,
+            _frag,
+            ttl,
+            proto,
+            checksum,
+            src,
+            dst,
+        ) = struct.unpack("!BBHHHBBH4s4s", data[:20])
+        if ver_ihl >> 4 != 4:
+            raise PacketError(f"not an IPv4 packet (version={ver_ihl >> 4})")
+        if internet_checksum(data[:20]) != 0:
+            raise PacketError("bad IPv4 header checksum")
+        header = cls(IpAddress(src), IpAddress(dst), proto, ttl=ttl, ident=ident, tos=tos)
+        header.total_length = total_length
+        return header, data[20:]
+
+    def copy(self) -> "Ipv4":
+        dup = Ipv4(self.src, self.dst, self.proto, ttl=self.ttl, ident=self.ident, tos=self.tos)
+        dup.total_length = self.total_length
+        return dup
+
+    def __repr__(self) -> str:
+        return f"Ipv4({self.src} -> {self.dst}, proto={self.proto}, ttl={self.ttl})"
+
+
+class Udp:
+    """UDP header.  Checksum computed over the standard pseudo-header."""
+
+    __slots__ = ("sport", "dport")
+
+    def __init__(self, sport: int, dport: int) -> None:
+        for port in (sport, dport):
+            if not 0 <= port < 65536:
+                raise PacketError(f"port out of range: {port}")
+        self.sport = sport
+        self.dport = dport
+
+    def to_bytes(self, ip: Ipv4, payload: bytes) -> bytes:
+        length = UDP_HEADER_LEN + len(payload)
+        header = struct.pack("!HHHH", self.sport, self.dport, length, 0)
+        pseudo = ip.src.to_bytes() + ip.dst.to_bytes() + struct.pack(
+            "!BBH", 0, IP_PROTO_UDP, length
+        )
+        checksum = internet_checksum(pseudo + header + payload)
+        return header[:6] + struct.pack("!H", checksum)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> Tuple["Udp", bytes]:
+        if len(data) < UDP_HEADER_LEN:
+            raise PacketError("truncated UDP header")
+        sport, dport, length, _checksum = struct.unpack("!HHHH", data[:8])
+        if length < UDP_HEADER_LEN or length > len(data):
+            raise PacketError(f"bad UDP length {length}")
+        return cls(sport, dport), data[8:length]
+
+    def copy(self) -> "Udp":
+        return Udp(self.sport, self.dport)
+
+    def __repr__(self) -> str:
+        return f"Udp({self.sport} -> {self.dport})"
+
+
+class Tcp:
+    """TCP header (20 bytes, no options)."""
+
+    __slots__ = ("sport", "dport", "seq", "ack", "flags", "window")
+
+    def __init__(
+        self,
+        sport: int,
+        dport: int,
+        seq: int = 0,
+        ack: int = 0,
+        flags: int = 0,
+        window: int = 65535,
+    ) -> None:
+        for port in (sport, dport):
+            if not 0 <= port < 65536:
+                raise PacketError(f"port out of range: {port}")
+        self.sport = sport
+        self.dport = dport
+        self.seq = seq & 0xFFFFFFFF
+        self.ack = ack & 0xFFFFFFFF
+        self.flags = flags
+        self.window = window & 0xFFFF
+
+    def flag(self, mask: int) -> bool:
+        return bool(self.flags & mask)
+
+    def to_bytes(self, ip: Ipv4, payload: bytes) -> bytes:
+        header = struct.pack(
+            "!HHIIBBHHH",
+            self.sport,
+            self.dport,
+            self.seq,
+            self.ack,
+            5 << 4,  # data offset = 5 words
+            self.flags,
+            self.window,
+            0,  # checksum placeholder
+            0,  # urgent pointer
+        )
+        pseudo = ip.src.to_bytes() + ip.dst.to_bytes() + struct.pack(
+            "!BBH", 0, IP_PROTO_TCP, TCP_HEADER_LEN + len(payload)
+        )
+        checksum = internet_checksum(pseudo + header + payload)
+        return header[:16] + struct.pack("!H", checksum) + header[18:]
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> Tuple["Tcp", bytes]:
+        if len(data) < TCP_HEADER_LEN:
+            raise PacketError("truncated TCP header")
+        sport, dport, seq, ack, offset_byte, flags, window, _checksum, _urg = struct.unpack(
+            "!HHIIBBHHH", data[:20]
+        )
+        data_offset = (offset_byte >> 4) * 4
+        if data_offset < TCP_HEADER_LEN or data_offset > len(data):
+            raise PacketError(f"bad TCP data offset {data_offset}")
+        header = cls(sport, dport, seq=seq, ack=ack, flags=flags, window=window)
+        return header, data[data_offset:]
+
+    def copy(self) -> "Tcp":
+        return Tcp(self.sport, self.dport, self.seq, self.ack, self.flags, self.window)
+
+    def flags_str(self) -> str:
+        names = [
+            ("S", TCP_SYN),
+            ("A", TCP_ACK),
+            ("F", TCP_FIN),
+            ("R", TCP_RST),
+            ("P", TCP_PSH),
+        ]
+        return "".join(n for n, m in names if self.flags & m) or "."
+
+    def __repr__(self) -> str:
+        return (
+            f"Tcp({self.sport} -> {self.dport}, seq={self.seq}, "
+            f"ack={self.ack}, flags={self.flags_str()})"
+        )
+
+
+class Icmp:
+    """ICMP echo request/reply header."""
+
+    __slots__ = ("icmp_type", "code", "ident", "seqno")
+
+    def __init__(self, icmp_type: int, code: int = 0, ident: int = 0, seqno: int = 0) -> None:
+        self.icmp_type = icmp_type
+        self.code = code
+        self.ident = ident & 0xFFFF
+        self.seqno = seqno & 0xFFFF
+
+    @property
+    def is_echo_request(self) -> bool:
+        return self.icmp_type == ICMP_ECHO_REQUEST
+
+    @property
+    def is_echo_reply(self) -> bool:
+        return self.icmp_type == ICMP_ECHO_REPLY
+
+    def to_bytes(self, payload: bytes) -> bytes:
+        header = struct.pack("!BBHHH", self.icmp_type, self.code, 0, self.ident, self.seqno)
+        checksum = internet_checksum(header + payload)
+        return header[:2] + struct.pack("!H", checksum) + header[4:]
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> Tuple["Icmp", bytes]:
+        if len(data) < ICMP_HEADER_LEN:
+            raise PacketError("truncated ICMP header")
+        icmp_type, code, _checksum, ident, seqno = struct.unpack("!BBHHH", data[:8])
+        return cls(icmp_type, code, ident, seqno), data[8:]
+
+    def copy(self) -> "Icmp":
+        return Icmp(self.icmp_type, self.code, self.ident, self.seqno)
+
+    def __repr__(self) -> str:
+        kind = {0: "echo-reply", 8: "echo-request"}.get(self.icmp_type, str(self.icmp_type))
+        return f"Icmp({kind}, id={self.ident}, seq={self.seqno})"
+
+
+TransportHeader = Union[Udp, Tcp, Icmp]
+
+
+class Packet:
+    """A full frame: Ethernet, optional VLAN tag, optional IPv4+transport.
+
+    Instances are mutable (adversaries rewrite headers in place on their
+    copy); :meth:`copy` produces a deep, independent duplicate as a hub
+    would.  Equality and hashing are defined over the serialised bytes,
+    which is exactly the comparison the NetCo compare element performs.
+    """
+
+    __slots__ = ("eth", "vlan", "ip", "l4", "payload", "meta")
+
+    def __init__(
+        self,
+        eth: Ethernet,
+        ip: Optional[Ipv4] = None,
+        l4: Optional[TransportHeader] = None,
+        payload: bytes = b"",
+        vlan: Optional[Vlan] = None,
+    ) -> None:
+        if l4 is not None and ip is None:
+            raise PacketError("transport header requires an IPv4 header")
+        self.eth = eth
+        self.vlan = vlan
+        self.ip = ip
+        self.l4 = l4
+        self.payload = payload
+        # Out-of-band metadata (e.g. the combiner branch id a trusted mux
+        # attaches before handing a packet to the compare — the simulator
+        # analogue of the in_port field of an OpenFlow Packet-in).  Never
+        # serialised, never part of equality, never survives copy().
+        self.meta: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def udp(
+        cls,
+        src_mac: MacAddress,
+        dst_mac: MacAddress,
+        src_ip: IpAddress,
+        dst_ip: IpAddress,
+        sport: int,
+        dport: int,
+        payload: bytes = b"",
+        ttl: int = 64,
+        ident: int = 0,
+        vlan: Optional[Vlan] = None,
+    ) -> "Packet":
+        return cls(
+            Ethernet(dst_mac, src_mac, ETH_TYPE_IPV4),
+            Ipv4(src_ip, dst_ip, IP_PROTO_UDP, ttl=ttl, ident=ident),
+            Udp(sport, dport),
+            payload,
+            vlan=vlan,
+        )
+
+    @classmethod
+    def tcp(
+        cls,
+        src_mac: MacAddress,
+        dst_mac: MacAddress,
+        src_ip: IpAddress,
+        dst_ip: IpAddress,
+        sport: int,
+        dport: int,
+        seq: int = 0,
+        ack: int = 0,
+        flags: int = 0,
+        window: int = 65535,
+        payload: bytes = b"",
+        ttl: int = 64,
+        ident: int = 0,
+    ) -> "Packet":
+        return cls(
+            Ethernet(dst_mac, src_mac, ETH_TYPE_IPV4),
+            Ipv4(src_ip, dst_ip, IP_PROTO_TCP, ttl=ttl, ident=ident),
+            Tcp(sport, dport, seq=seq, ack=ack, flags=flags, window=window),
+            payload,
+        )
+
+    @classmethod
+    def icmp_echo(
+        cls,
+        src_mac: MacAddress,
+        dst_mac: MacAddress,
+        src_ip: IpAddress,
+        dst_ip: IpAddress,
+        ident: int,
+        seqno: int,
+        reply: bool = False,
+        payload: bytes = b"",
+        ttl: int = 64,
+        ip_ident: int = 0,
+    ) -> "Packet":
+        icmp_type = ICMP_ECHO_REPLY if reply else ICMP_ECHO_REQUEST
+        return cls(
+            Ethernet(dst_mac, src_mac, ETH_TYPE_IPV4),
+            Ipv4(src_ip, dst_ip, IP_PROTO_ICMP, ttl=ttl, ident=ip_ident),
+            Icmp(icmp_type, ident=ident, seqno=seqno),
+            payload,
+        )
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialise the full frame deterministically."""
+        parts: List[bytes] = []
+        inner_type = self.eth.ethertype
+        if self.vlan is not None:
+            parts.append(
+                self.eth.dst.to_bytes()
+                + self.eth.src.to_bytes()
+                + struct.pack("!H", ETH_TYPE_VLAN)
+            )
+            parts.append(self.vlan.to_bytes(inner_type))
+        else:
+            parts.append(self.eth.to_bytes())
+        if self.ip is not None:
+            l4_bytes = b""
+            if isinstance(self.l4, Udp):
+                l4_bytes = self.l4.to_bytes(self.ip, self.payload)
+            elif isinstance(self.l4, Tcp):
+                l4_bytes = self.l4.to_bytes(self.ip, self.payload)
+            elif isinstance(self.l4, Icmp):
+                l4_bytes = self.l4.to_bytes(self.payload)
+            parts.append(self.ip.to_bytes(len(l4_bytes) + len(self.payload)))
+            parts.append(l4_bytes)
+            parts.append(self.payload)
+        else:
+            parts.append(self.payload)
+        return b"".join(parts)
+
+    @classmethod
+    def parse(cls, data: bytes) -> "Packet":
+        """Parse a frame produced by :meth:`to_bytes` (round-trip safe)."""
+        eth, rest = Ethernet.from_bytes(data)
+        vlan = None
+        if eth.ethertype == ETH_TYPE_VLAN:
+            vlan, inner_type, rest = Vlan.from_bytes(rest)
+            eth.ethertype = inner_type
+        if eth.ethertype != ETH_TYPE_IPV4:
+            return cls(eth, payload=rest, vlan=vlan)
+        ip, rest = Ipv4.from_bytes(rest)
+        rest = rest[: ip.total_length - IPV4_HEADER_LEN]
+        l4: Optional[TransportHeader] = None
+        payload = rest
+        if ip.proto == IP_PROTO_UDP:
+            l4, payload = Udp.from_bytes(rest)
+        elif ip.proto == IP_PROTO_TCP:
+            l4, payload = Tcp.from_bytes(rest)
+        elif ip.proto == IP_PROTO_ICMP:
+            l4, payload = Icmp.from_bytes(rest)
+        return cls(eth, ip, l4, payload, vlan=vlan)
+
+    @property
+    def wire_len(self) -> int:
+        """Frame length in bytes on the wire."""
+        length = ETHERNET_HEADER_LEN + len(self.payload)
+        if self.vlan is not None:
+            length += VLAN_TAG_LEN
+        if self.ip is not None:
+            length += IPV4_HEADER_LEN
+            if isinstance(self.l4, Udp):
+                length += UDP_HEADER_LEN
+            elif isinstance(self.l4, Tcp):
+                length += TCP_HEADER_LEN
+            elif isinstance(self.l4, Icmp):
+                length += ICMP_HEADER_LEN
+        return length
+
+    # ------------------------------------------------------------------
+    # duplication / identity
+    # ------------------------------------------------------------------
+    def copy(self) -> "Packet":
+        """Deep copy — what a hub emits on each redundant branch."""
+        return Packet(
+            self.eth.copy(),
+            self.ip.copy() if self.ip is not None else None,
+            self.l4.copy() if self.l4 is not None else None,
+            self.payload,
+            vlan=self.vlan.copy() if self.vlan is not None else None,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Packet):
+            return NotImplemented
+        return self.to_bytes() == other.to_bytes()
+
+    def __hash__(self) -> int:
+        return hash(self.to_bytes())
+
+    def summary(self) -> str:
+        """Short human-readable description (tcpdump-ish one-liner)."""
+        parts = [f"{self.eth.src}>{self.eth.dst}"]
+        if self.vlan is not None:
+            parts.append(f"vlan{self.vlan.vid}")
+        if self.ip is not None:
+            parts.append(f"{self.ip.src}>{self.ip.dst}")
+        if self.l4 is not None:
+            parts.append(repr(self.l4))
+        parts.append(f"{self.wire_len}B")
+        return " ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"Packet({self.summary()})"

@@ -1,0 +1,134 @@
+"""SDN controller base class and control channel model.
+
+A :class:`Controller` manages any number of switches.  The control channel
+cost has two parts, both of which matter for reproducing the paper's POX3
+result:
+
+* the per-direction channel latency (configured per switch on
+  ``connect_controller``) — piping every packet through the controller
+  pays this twice; and
+* the controller's own per-message processing cost (``proc_time``) in a
+  single-server queue — interpreted-Python controllers like POX have a
+  much higher per-packet cost than the paper's compiled C compare.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.openflow.messages import (
+    FlowMod,
+    FlowRemoved,
+    FlowStatsReply,
+    PacketIn,
+    PacketOut,
+    PortStatsReply,
+)
+from repro.sim import Simulator, TraceBus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.openflow.switch import OpenFlowSwitch
+
+
+class Controller:
+    """Base controller: override the ``on_*`` handlers in applications."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "controller",
+        trace_bus: Optional[TraceBus] = None,
+        proc_time: float = 0.0,
+        queue_capacity: int = 100_000,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.trace_bus = trace_bus
+        self.proc_time = proc_time
+        self.queue_capacity = queue_capacity
+        self.switches: Dict[int, "OpenFlowSwitch"] = {}
+        self._busy_until = 0.0
+        self._in_service = 0
+        self.messages_received = 0
+        self.messages_dropped = 0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def register_switch(self, switch: "OpenFlowSwitch") -> None:
+        self.switches[switch.datapath_id] = switch
+        self.on_switch_connected(switch)
+
+    def switch(self, datapath_id: int) -> "OpenFlowSwitch":
+        return self.switches[datapath_id]
+
+    # ------------------------------------------------------------------
+    # receive path (switch -> controller), with service-time modelling
+    # ------------------------------------------------------------------
+    def receive_from_switch(self, switch: "OpenFlowSwitch", message: object) -> None:
+        self.messages_received += 1
+        if self._in_service >= self.queue_capacity:
+            self.messages_dropped += 1
+            self.trace("controller.drop", reason="queue")
+            return
+        if self.proc_time <= 0.0:
+            self._dispatch(switch, message)
+            return
+        start = max(self.sim.now, self._busy_until)
+        finish = start + self.proc_time
+        self._busy_until = finish
+        self._in_service += 1
+
+        def _serve() -> None:
+            self._in_service -= 1
+            self._dispatch(switch, message)
+
+        self.sim.schedule_at(finish, _serve)
+
+    def _dispatch(self, switch: "OpenFlowSwitch", message: object) -> None:
+        if isinstance(message, PacketIn):
+            self.on_packet_in(switch, message)
+        elif isinstance(message, FlowRemoved):
+            self.on_flow_removed(switch, message)
+        elif isinstance(message, PortStatsReply):
+            self.on_port_stats(switch, message)
+        elif isinstance(message, FlowStatsReply):
+            self.on_flow_stats(switch, message)
+        else:
+            self.trace("controller.unknown_message", message=type(message).__name__)
+
+    # ------------------------------------------------------------------
+    # send path (controller -> switch)
+    # ------------------------------------------------------------------
+    def send(self, switch: "OpenFlowSwitch", message: object) -> None:
+        """Send a FlowMod/PacketOut/etc. over the control channel."""
+        latency = switch.controller_latency()
+        self.sim.schedule(latency, lambda: switch.handle_controller_message(message))
+
+    def send_flow_mod(self, switch: "OpenFlowSwitch", mod: FlowMod) -> None:
+        self.send(switch, mod)
+
+    def send_packet_out(self, switch: "OpenFlowSwitch", out: PacketOut) -> None:
+        self.send(switch, out)
+
+    # ------------------------------------------------------------------
+    # application hooks
+    # ------------------------------------------------------------------
+    def on_switch_connected(self, switch: "OpenFlowSwitch") -> None:
+        """Called when a switch attaches; install proactive rules here."""
+
+    def on_packet_in(self, switch: "OpenFlowSwitch", event: PacketIn) -> None:
+        """Called on every packet-in.  Default: drop silently."""
+
+    def on_flow_removed(self, switch: "OpenFlowSwitch", event: FlowRemoved) -> None:
+        """Called when a flow entry expires or is deleted."""
+
+    def on_port_stats(self, switch: "OpenFlowSwitch", reply: PortStatsReply) -> None:
+        """Called on port-stats replies."""
+
+    def on_flow_stats(self, switch: "OpenFlowSwitch", reply: FlowStatsReply) -> None:
+        """Called on flow-stats replies."""
+
+    def trace(self, topic: str, **data: object) -> None:
+        if self.trace_bus is not None:
+            self.trace_bus.emit(self.sim.now, topic, self.name, **data)

@@ -1,0 +1,152 @@
+"""OpenFlow 1.0 flow table: prioritised entries, counters, timeouts.
+
+Lookup returns the highest-priority matching entry (earliest-installed on
+ties, which is deterministic and matches common switch behaviour).  Idle
+and hard timeouts are evaluated lazily against the simulated clock; the
+switch sweeps expired entries and emits *flow-removed* notifications.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.net.packet import Packet
+from repro.openflow.actions import Action
+from repro.openflow.match import Match
+
+
+class FlowEntry:
+    """One installed flow rule."""
+
+    __slots__ = (
+        "match",
+        "actions",
+        "priority",
+        "cookie",
+        "idle_timeout",
+        "hard_timeout",
+        "created_at",
+        "last_matched",
+        "packet_count",
+        "byte_count",
+    )
+
+    def __init__(
+        self,
+        match: Match,
+        actions: Sequence[Action],
+        priority: int = 0,
+        cookie: int = 0,
+        idle_timeout: float = 0.0,
+        hard_timeout: float = 0.0,
+        created_at: float = 0.0,
+    ) -> None:
+        self.match = match
+        self.actions: List[Action] = list(actions)
+        self.priority = priority
+        self.cookie = cookie
+        self.idle_timeout = idle_timeout  # 0 = never
+        self.hard_timeout = hard_timeout  # 0 = never
+        self.created_at = created_at
+        self.last_matched = created_at
+        self.packet_count = 0
+        self.byte_count = 0
+
+    def record_hit(self, packet: Packet, now: float) -> None:
+        self.packet_count += 1
+        self.byte_count += packet.wire_len
+        self.last_matched = now
+
+    def expired(self, now: float) -> Optional[str]:
+        """Return the expiry reason ('idle'/'hard') or None."""
+        if self.hard_timeout > 0 and now - self.created_at >= self.hard_timeout:
+            return "hard"
+        if self.idle_timeout > 0 and now - self.last_matched >= self.idle_timeout:
+            return "idle"
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"FlowEntry(prio={self.priority}, {self.match!r} -> {self.actions!r}, "
+            f"pkts={self.packet_count})"
+        )
+
+
+class FlowTable:
+    """Priority-ordered flow table with OF 1.0 add/modify/delete semantics."""
+
+    def __init__(self) -> None:
+        self._entries: List[FlowEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterable[FlowEntry]:
+        return iter(list(self._entries))
+
+    @property
+    def entries(self) -> List[FlowEntry]:
+        return list(self._entries)
+
+    # ------------------------------------------------------------------
+    def add(self, entry: FlowEntry) -> None:
+        """Install an entry; replaces an entry with identical match+priority."""
+        for i, existing in enumerate(self._entries):
+            if existing.priority == entry.priority and existing.match == entry.match:
+                self._entries[i] = entry
+                self._sort()
+                return
+        self._entries.append(entry)
+        self._sort()
+
+    def _sort(self) -> None:
+        # Stable sort: by descending priority; insertion order breaks ties.
+        self._entries.sort(key=lambda e: -e.priority)
+
+    def lookup(self, packet: Packet, in_port: int, now: float) -> Optional[FlowEntry]:
+        """Highest-priority live entry matching the packet, else None."""
+        for entry in self._entries:
+            if entry.expired(now):
+                continue
+            if entry.match.matches(packet, in_port):
+                entry.record_hit(packet, now)
+                return entry
+        return None
+
+    def remove(
+        self,
+        match: Optional[Match] = None,
+        priority: Optional[int] = None,
+        strict: bool = False,
+    ) -> List[FlowEntry]:
+        """Delete entries.
+
+        Non-strict (OF 1.0 DELETE): removes every entry whose match equals
+        ``match`` (or all entries when ``match`` is None).  Strict
+        (DELETE_STRICT): requires the priority to match too.
+        """
+        removed: List[FlowEntry] = []
+        kept: List[FlowEntry] = []
+        for entry in self._entries:
+            hit = match is None or entry.match == match
+            if strict and priority is not None and entry.priority != priority:
+                hit = False
+            if hit:
+                removed.append(entry)
+            else:
+                kept.append(entry)
+        self._entries = kept
+        return removed
+
+    def sweep_expired(self, now: float) -> List[FlowEntry]:
+        """Remove and return entries whose timeouts have elapsed."""
+        expired = [e for e in self._entries if e.expired(now)]
+        if expired:
+            self._entries = [e for e in self._entries if not e.expired(now)]
+        return expired
+
+    def total_packets(self) -> int:
+        return sum(e.packet_count for e in self._entries)
+
+    def find(self, predicate: Callable[[FlowEntry], bool]) -> List[FlowEntry]:
+        return [e for e in self._entries if predicate(e)]

@@ -1,0 +1,172 @@
+"""OpenFlow 1.0 match structure (the 12-tuple, with wildcards).
+
+A field set to ``None`` is wildcarded.  This covers the full OF 1.0 match
+set; the paper's prototype only matches ``dl_dst``, but the learning
+switch, the case-study pipelines and the virtualized NetCo use more.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.addresses import IpAddress, MacAddress
+from repro.net.packet import Icmp, Packet, Tcp, Udp
+
+
+class Match:
+    """An OF 1.0 flow match; ``None`` fields are wildcards."""
+
+    __slots__ = (
+        "in_port",
+        "dl_src",
+        "dl_dst",
+        "dl_vlan",
+        "dl_vlan_pcp",
+        "dl_type",
+        "nw_tos",
+        "nw_proto",
+        "nw_src",
+        "nw_dst",
+        "tp_src",
+        "tp_dst",
+    )
+
+    def __init__(
+        self,
+        in_port: Optional[int] = None,
+        dl_src: Optional[MacAddress] = None,
+        dl_dst: Optional[MacAddress] = None,
+        dl_vlan: Optional[int] = None,
+        dl_vlan_pcp: Optional[int] = None,
+        dl_type: Optional[int] = None,
+        nw_tos: Optional[int] = None,
+        nw_proto: Optional[int] = None,
+        nw_src: Optional[IpAddress] = None,
+        nw_dst: Optional[IpAddress] = None,
+        tp_src: Optional[int] = None,
+        tp_dst: Optional[int] = None,
+    ) -> None:
+        self.in_port = in_port
+        self.dl_src = MacAddress(dl_src) if dl_src is not None else None
+        self.dl_dst = MacAddress(dl_dst) if dl_dst is not None else None
+        self.dl_vlan = dl_vlan
+        self.dl_vlan_pcp = dl_vlan_pcp
+        self.dl_type = dl_type
+        self.nw_tos = nw_tos
+        self.nw_proto = nw_proto
+        self.nw_src = IpAddress(nw_src) if nw_src is not None else None
+        self.nw_dst = IpAddress(nw_dst) if nw_dst is not None else None
+        self.tp_src = tp_src
+        self.tp_dst = tp_dst
+
+    @classmethod
+    def wildcard(cls) -> "Match":
+        """Match everything (a table-miss style entry)."""
+        return cls()
+
+    @classmethod
+    def from_packet(cls, packet: Packet, in_port: Optional[int] = None) -> "Match":
+        """Exact match extracted from a packet (OF 1.0 reactive style)."""
+        match = cls(
+            in_port=in_port,
+            dl_src=packet.eth.src,
+            dl_dst=packet.eth.dst,
+            dl_type=packet.eth.ethertype,
+        )
+        if packet.vlan is not None:
+            match.dl_vlan = packet.vlan.vid
+            match.dl_vlan_pcp = packet.vlan.pcp
+        if packet.ip is not None:
+            match.nw_src = packet.ip.src
+            match.nw_dst = packet.ip.dst
+            match.nw_proto = packet.ip.proto
+            match.nw_tos = packet.ip.tos
+            if isinstance(packet.l4, (Udp, Tcp)):
+                match.tp_src = packet.l4.sport
+                match.tp_dst = packet.l4.dport
+            elif isinstance(packet.l4, Icmp):
+                match.tp_src = packet.l4.icmp_type
+                match.tp_dst = packet.l4.code
+        return match
+
+    # ------------------------------------------------------------------
+    def matches(self, packet: Packet, in_port: int) -> bool:
+        """Does ``packet`` arriving on ``in_port`` satisfy this match?"""
+        if self.in_port is not None and in_port != self.in_port:
+            return False
+        if self.dl_src is not None and packet.eth.src != self.dl_src:
+            return False
+        if self.dl_dst is not None and packet.eth.dst != self.dl_dst:
+            return False
+        if self.dl_type is not None and packet.eth.ethertype != self.dl_type:
+            return False
+        if self.dl_vlan is not None:
+            if packet.vlan is None or packet.vlan.vid != self.dl_vlan:
+                return False
+        if self.dl_vlan_pcp is not None:
+            if packet.vlan is None or packet.vlan.pcp != self.dl_vlan_pcp:
+                return False
+        ip_fields_used = (
+            self.nw_src is not None
+            or self.nw_dst is not None
+            or self.nw_proto is not None
+            or self.nw_tos is not None
+        )
+        if ip_fields_used and packet.ip is None:
+            return False
+        if packet.ip is not None:
+            if self.nw_src is not None and packet.ip.src != self.nw_src:
+                return False
+            if self.nw_dst is not None and packet.ip.dst != self.nw_dst:
+                return False
+            if self.nw_proto is not None and packet.ip.proto != self.nw_proto:
+                return False
+            if self.nw_tos is not None and packet.ip.tos != self.nw_tos:
+                return False
+        if self.tp_src is not None or self.tp_dst is not None:
+            if isinstance(packet.l4, (Udp, Tcp)):
+                if self.tp_src is not None and packet.l4.sport != self.tp_src:
+                    return False
+                if self.tp_dst is not None and packet.l4.dport != self.tp_dst:
+                    return False
+            elif isinstance(packet.l4, Icmp):
+                if self.tp_src is not None and packet.l4.icmp_type != self.tp_src:
+                    return False
+                if self.tp_dst is not None and packet.l4.code != self.tp_dst:
+                    return False
+            else:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    def _key(self) -> tuple:
+        return (
+            self.in_port,
+            self.dl_src,
+            self.dl_dst,
+            self.dl_vlan,
+            self.dl_vlan_pcp,
+            self.dl_type,
+            self.nw_tos,
+            self.nw_proto,
+            self.nw_src,
+            self.nw_dst,
+            self.tp_src,
+            self.tp_dst,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Match):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        fields = []
+        for name in self.__slots__:
+            value = getattr(self, name)
+            if value is not None:
+                fields.append(f"{name}={value}")
+        return f"Match({', '.join(fields) or '*'})"

@@ -1,0 +1,112 @@
+"""OpenFlow control-channel messages (the subset the reproduction needs).
+
+These are plain value objects exchanged between :class:`~repro.openflow.
+switch.OpenFlowSwitch` and :class:`~repro.openflow.controller.Controller`
+over a latency-modelled channel — the simulator analogue of the TCP
+connection between an OpenFlow switch and its controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.net.packet import Packet
+from repro.openflow.actions import Action
+from repro.openflow.match import Match
+
+# FlowMod commands
+FLOWMOD_ADD = "add"
+FLOWMOD_DELETE = "delete"
+FLOWMOD_DELETE_STRICT = "delete_strict"
+
+# PacketIn reasons
+PACKETIN_NO_MATCH = "no_match"
+PACKETIN_ACTION = "action"
+
+
+@dataclass(frozen=True)
+class PacketIn:
+    """Switch -> controller: a packet needing a decision."""
+
+    datapath_id: int
+    packet: Packet
+    in_port: int
+    reason: str = PACKETIN_NO_MATCH
+    buffer_id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class PacketOut:
+    """Controller -> switch: emit a packet with the given action list."""
+
+    packet: Optional[Packet]
+    actions: Sequence[Action]
+    in_port: int = 0
+    buffer_id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class FlowMod:
+    """Controller -> switch: install or remove flow state."""
+
+    command: str
+    match: Match
+    actions: Sequence[Action] = ()
+    priority: int = 0
+    idle_timeout: float = 0.0
+    hard_timeout: float = 0.0
+    cookie: int = 0
+
+
+@dataclass(frozen=True)
+class FlowRemoved:
+    """Switch -> controller: a flow entry expired or was deleted."""
+
+    datapath_id: int
+    match: Match
+    priority: int
+    reason: str
+    packet_count: int
+    byte_count: int
+    cookie: int = 0
+
+
+@dataclass(frozen=True)
+class PortStatsRequest:
+    datapath_id: int
+
+
+@dataclass(frozen=True)
+class PortStats:
+    port_no: int
+    rx_packets: int
+    tx_packets: int
+    rx_bytes: int
+    tx_bytes: int
+
+
+@dataclass(frozen=True)
+class PortStatsReply:
+    datapath_id: int
+    stats: List[PortStats] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class FlowStatsRequest:
+    datapath_id: int
+
+
+@dataclass(frozen=True)
+class FlowStatsEntry:
+    match: Match
+    priority: int
+    packet_count: int
+    byte_count: int
+    cookie: int
+
+
+@dataclass(frozen=True)
+class FlowStatsReply:
+    datapath_id: int
+    stats: List[FlowStatsEntry] = field(default_factory=list)

@@ -1,0 +1,382 @@
+"""OpenFlow 1.0 switch datapath.
+
+The switch models a *software* switch (the paper runs Open vSwitch-style
+datapaths inside Mininet): each packet pays a per-packet processing cost
+(``proc_time``) in a single-server FIFO before the match-action pipeline
+runs.  This service time, not the raw link rate, is what bounds throughput
+in the paper's testbed — and what makes duplication (Dup5/Central5)
+visibly more expensive than Linespeed.
+
+Adversarial routers are ordinary switches with a ``behavior`` attached:
+per the threat model, a compromised router may ignore its installed rules
+entirely, so the behavior hook runs *instead of* the normal pipeline and
+can forward, mirror, rewrite, drop or fabricate packets arbitrarily.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.net.node import Node, Port
+from repro.net.packet import Packet
+from repro.openflow.actions import (
+    Action,
+    Output,
+    PORT_CONTROLLER,
+    PORT_FLOOD,
+    PORT_IN_PORT,
+)
+from repro.openflow.flowtable import FlowEntry, FlowTable
+from repro.openflow.match import Match
+from repro.openflow.messages import (
+    FLOWMOD_ADD,
+    FLOWMOD_DELETE,
+    FLOWMOD_DELETE_STRICT,
+    FlowMod,
+    FlowRemoved,
+    FlowStatsEntry,
+    FlowStatsReply,
+    FlowStatsRequest,
+    PACKETIN_ACTION,
+    PACKETIN_NO_MATCH,
+    PacketIn,
+    PacketOut,
+    PortStats,
+    PortStatsReply,
+    PortStatsRequest,
+)
+from repro.sim import CpuResource, Simulator, TraceBus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.adversary.behaviors import AdversarialBehavior
+    from repro.openflow.controller import Controller
+
+
+class SwitchStats:
+    """Datapath-level counters."""
+
+    __slots__ = (
+        "rx_packets",
+        "forwarded",
+        "dropped_no_match",
+        "dropped_no_actions",
+        "dropped_service_queue",
+        "packet_ins",
+        "packet_outs",
+        "flow_mods",
+        "behavior_handled",
+    )
+
+    def __init__(self) -> None:
+        self.rx_packets = 0
+        self.forwarded = 0
+        self.dropped_no_match = 0
+        self.dropped_no_actions = 0
+        self.dropped_service_queue = 0
+        self.packet_ins = 0
+        self.packet_outs = 0
+        self.flow_mods = 0
+        self.behavior_handled = 0
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class OpenFlowSwitch(Node):
+    """An OpenFlow 1.0 switch with a bounded processing pipeline."""
+
+    _dpid_counter = 0
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        trace_bus: Optional[TraceBus] = None,
+        proc_time: float = 0.0,
+        proc_per_byte: float = 0.0,
+        cpu: Optional["CpuResource"] = None,
+        service_queue_capacity: int = 1000,
+        packet_buffer_capacity: int = 256,
+        datapath_id: Optional[int] = None,
+    ) -> None:
+        super().__init__(sim, name, trace_bus)
+        if datapath_id is None:
+            OpenFlowSwitch._dpid_counter += 1
+            datapath_id = OpenFlowSwitch._dpid_counter
+        self.datapath_id = datapath_id
+        self.table = FlowTable()
+        self.proc_time = proc_time
+        self.proc_per_byte = proc_per_byte
+        # The CPU the datapath runs on.  Passing a shared CpuResource
+        # models Mininet-style co-location: every switch's per-packet work
+        # serialises on one core.  None = this switch has its own core.
+        self.cpu = cpu if cpu is not None else CpuResource(f"{name}.cpu")
+        self.service_queue_capacity = service_queue_capacity
+        self.stats = SwitchStats()
+        self.behavior: Optional["AdversarialBehavior"] = None
+        self._controller: Optional["Controller"] = None
+        self._controller_latency = 0.0
+        self._in_service = 0
+        self._packet_buffer: Dict[int, Tuple[Packet, int]] = {}
+        self._packet_buffer_capacity = packet_buffer_capacity
+        self._buffer_seq = 0
+
+    # ------------------------------------------------------------------
+    # control channel
+    # ------------------------------------------------------------------
+    def connect_controller(self, controller: "Controller", latency: float = 0.0) -> None:
+        self._controller = controller
+        self._controller_latency = latency
+        controller.register_switch(self)
+
+    @property
+    def controller(self) -> Optional["Controller"]:
+        return self._controller
+
+    def _send_to_controller(self, message: object) -> None:
+        controller = self._controller
+        if controller is None:
+            return
+        self.sim.schedule(
+            self._controller_latency, lambda: controller.receive_from_switch(self, message)
+        )
+
+    def handle_controller_message(self, message: object) -> None:
+        """Entry point for messages arriving from the controller."""
+        if isinstance(message, FlowMod):
+            self._apply_flow_mod(message)
+        elif isinstance(message, PacketOut):
+            self._apply_packet_out(message)
+        elif isinstance(message, PortStatsRequest):
+            self._send_to_controller(self._port_stats_reply())
+        elif isinstance(message, FlowStatsRequest):
+            self._send_to_controller(self._flow_stats_reply())
+        else:
+            self.trace("switch.unknown_message", message=type(message).__name__)
+
+    def controller_latency(self) -> float:
+        return self._controller_latency
+
+    # ------------------------------------------------------------------
+    # datapath
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet, in_port: Port) -> None:
+        self.stats.rx_packets += 1
+        if self._in_service >= self.service_queue_capacity:
+            self.stats.dropped_service_queue += 1
+            self.trace("switch.drop", reason="service_queue", packet=packet)
+            return
+        cost = self.proc_time + self.proc_per_byte * packet.wire_len
+        if cost <= 0.0:
+            self._process(packet, in_port.port_no)
+            return
+        finish = self.cpu.acquire(self.sim.now, cost)
+        self._in_service += 1
+
+        def _serve() -> None:
+            self._in_service -= 1
+            self._process(packet, in_port.port_no)
+
+        self.sim.schedule_at(finish, _serve)
+
+    def _process(self, packet: Packet, in_port_no: int) -> None:
+        for entry in self.table.sweep_expired(self.sim.now):
+            self._notify_flow_removed(entry, reason=entry.expired(self.sim.now) or "idle")
+        if self.behavior is not None:
+            handled = self.behavior.handle(self, packet, in_port_no)
+            if handled:
+                self.stats.behavior_handled += 1
+                return
+        entry = self.table.lookup(packet, in_port_no, self.sim.now)
+        if entry is None:
+            self.stats.dropped_no_match += 1
+            self._table_miss(packet, in_port_no)
+            return
+        if not entry.actions:
+            self.stats.dropped_no_actions += 1
+            self.trace("switch.drop", reason="empty_actions", packet=packet)
+            return
+        self.apply_actions(packet, entry.actions, in_port_no)
+
+    def _table_miss(self, packet: Packet, in_port_no: int) -> None:
+        if self._controller is None:
+            self.trace("switch.drop", reason="no_match", packet=packet)
+            return
+        buffer_id = self._buffer_packet(packet, in_port_no)
+        self.stats.packet_ins += 1
+        self.trace("switch.packet_in", in_port=in_port_no, packet=packet)
+        self._send_to_controller(
+            PacketIn(
+                datapath_id=self.datapath_id,
+                packet=packet,
+                in_port=in_port_no,
+                reason=PACKETIN_NO_MATCH,
+                buffer_id=buffer_id,
+            )
+        )
+
+    def apply_actions(
+        self, packet: Packet, actions: List[Action], in_port_no: int
+    ) -> None:
+        """Apply an OF 1.0 action list to (a working copy of) the packet."""
+        working = packet.copy()
+        emitted = False
+        for action in actions:
+            if isinstance(action, Output):
+                self._output(working, action.port, in_port_no)
+                emitted = True
+            else:
+                action.apply(working)
+        if emitted:
+            self.stats.forwarded += 1
+
+    def _output(self, packet: Packet, out_port: int, in_port_no: int) -> None:
+        if out_port == PORT_FLOOD:
+            for port_no, port in sorted(self.ports.items()):
+                if port_no != in_port_no and port.is_wired:
+                    port.send(packet.copy())
+        elif out_port == PORT_CONTROLLER:
+            self.stats.packet_ins += 1
+            self._send_to_controller(
+                PacketIn(
+                    datapath_id=self.datapath_id,
+                    packet=packet.copy(),
+                    in_port=in_port_no,
+                    reason=PACKETIN_ACTION,
+                    buffer_id=self._buffer_packet(packet, in_port_no),
+                )
+            )
+        elif out_port == PORT_IN_PORT:
+            port = self.ports.get(in_port_no)
+            if port is not None and port.is_wired:
+                port.send(packet.copy())
+        else:
+            port = self.ports.get(out_port)
+            if port is None or not port.is_wired:
+                self.trace("switch.drop", reason="bad_port", port=out_port, packet=packet)
+                return
+            port.send(packet.copy())
+
+    # ------------------------------------------------------------------
+    # controller message handling
+    # ------------------------------------------------------------------
+    def _apply_flow_mod(self, mod: FlowMod) -> None:
+        self.stats.flow_mods += 1
+        if mod.command == FLOWMOD_ADD:
+            self.table.add(
+                FlowEntry(
+                    match=mod.match,
+                    actions=mod.actions,
+                    priority=mod.priority,
+                    cookie=mod.cookie,
+                    idle_timeout=mod.idle_timeout,
+                    hard_timeout=mod.hard_timeout,
+                    created_at=self.sim.now,
+                )
+            )
+        elif mod.command == FLOWMOD_DELETE:
+            for entry in self.table.remove(match=mod.match, strict=False):
+                self._notify_flow_removed(entry, reason="delete")
+        elif mod.command == FLOWMOD_DELETE_STRICT:
+            for entry in self.table.remove(
+                match=mod.match, priority=mod.priority, strict=True
+            ):
+                self._notify_flow_removed(entry, reason="delete")
+        else:
+            self.trace("switch.bad_flow_mod", command=mod.command)
+
+    def _apply_packet_out(self, message: PacketOut) -> None:
+        self.stats.packet_outs += 1
+        packet = message.packet
+        if packet is None and message.buffer_id is not None:
+            buffered = self._packet_buffer.pop(message.buffer_id, None)
+            if buffered is None:
+                self.trace("switch.bad_buffer", buffer_id=message.buffer_id)
+                return
+            packet = buffered[0]
+        if packet is None:
+            self.trace("switch.bad_packet_out")
+            return
+        self.apply_actions(packet, list(message.actions), message.in_port)
+
+    def _notify_flow_removed(self, entry: FlowEntry, reason: str) -> None:
+        self._send_to_controller(
+            FlowRemoved(
+                datapath_id=self.datapath_id,
+                match=entry.match,
+                priority=entry.priority,
+                reason=reason,
+                packet_count=entry.packet_count,
+                byte_count=entry.byte_count,
+                cookie=entry.cookie,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # local management API (used by trusted components & tests)
+    # ------------------------------------------------------------------
+    def install(
+        self,
+        match: Match,
+        actions: List[Action],
+        priority: int = 0,
+        idle_timeout: float = 0.0,
+        hard_timeout: float = 0.0,
+        cookie: int = 0,
+    ) -> FlowEntry:
+        """Install a flow entry directly (no control channel round trip)."""
+        entry = FlowEntry(
+            match=match,
+            actions=actions,
+            priority=priority,
+            cookie=cookie,
+            idle_timeout=idle_timeout,
+            hard_timeout=hard_timeout,
+            created_at=self.sim.now,
+        )
+        self.table.add(entry)
+        return entry
+
+    def block_port(self, port_no: int, duration: float) -> None:
+        """Administratively block a port (compare DoS mitigation)."""
+        port = self.ports.get(port_no)
+        if port is not None:
+            port.block_for(duration)
+            self.trace("switch.port_blocked", port=port_no, duration=duration)
+
+    # ------------------------------------------------------------------
+    # stats & buffering
+    # ------------------------------------------------------------------
+    def _buffer_packet(self, packet: Packet, in_port_no: int) -> int:
+        if len(self._packet_buffer) >= self._packet_buffer_capacity:
+            oldest = min(self._packet_buffer)
+            del self._packet_buffer[oldest]
+        self._buffer_seq += 1
+        self._packet_buffer[self._buffer_seq] = (packet, in_port_no)
+        return self._buffer_seq
+
+    def _port_stats_reply(self) -> PortStatsReply:
+        stats = [
+            PortStats(
+                port_no=port_no,
+                rx_packets=port.rx_packets,
+                tx_packets=port.tx_packets,
+                rx_bytes=port.rx_bytes,
+                tx_bytes=port.tx_bytes,
+            )
+            for port_no, port in sorted(self.ports.items())
+        ]
+        return PortStatsReply(datapath_id=self.datapath_id, stats=stats)
+
+    def _flow_stats_reply(self) -> FlowStatsReply:
+        stats = [
+            FlowStatsEntry(
+                match=e.match,
+                priority=e.priority,
+                packet_count=e.packet_count,
+                byte_count=e.byte_count,
+                cookie=e.cookie,
+            )
+            for e in self.table
+        ]
+        return FlowStatsReply(datapath_id=self.datapath_id, stats=stats)

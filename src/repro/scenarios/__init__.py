@@ -1,0 +1,39 @@
+"""Ready-made evaluation scenarios (Sections V, VI and VII)."""
+
+from repro.scenarios.datacenter import (
+    BENIGN_PATH,
+    CaseStudyResult,
+    DatacenterCaseStudy,
+    ScreeningReport,
+)
+from repro.scenarios.testbed import (
+    Testbed,
+    TestbedParams,
+    VARIANTS,
+    build_testbed,
+)
+from repro.scenarios.transport import (
+    TransportCombiner,
+    build_transport_combiner,
+    build_transport_scenario,
+)
+from repro.scenarios.virtualized import (
+    VirtualizedScenario,
+    build_virtualized_scenario,
+)
+
+__all__ = [
+    "BENIGN_PATH",
+    "CaseStudyResult",
+    "DatacenterCaseStudy",
+    "ScreeningReport",
+    "Testbed",
+    "TestbedParams",
+    "VARIANTS",
+    "build_testbed",
+    "TransportCombiner",
+    "build_transport_combiner",
+    "build_transport_scenario",
+    "VirtualizedScenario",
+    "build_virtualized_scenario",
+]

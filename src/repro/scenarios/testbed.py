@@ -1,0 +1,200 @@
+"""The Figure 3 performance-testing topology, in all six variants.
+
+Section V-A defines the scenarios; all are derived from the same chain
+``h1 — s1 — {r_i} — s2 — h2`` (plus ``h3``, the compare host):
+
+* **Linespeed** — h1, s1, r3, s2, h2 only: the insecure benchmark.
+* **Central3 / Central5** — the full combiner with k=3 / k=5 and the
+  C-style compare attached in-band on a dedicated host.
+* **POX3** — k=3, compare as a POX controller application.
+* **Dup3 / Dup5** — hubs only; packets are split but never combined.
+
+Calibration: the simulator's free parameters (per-packet costs, link
+characteristics) are set so that the *shape* of the paper's Table I /
+Figures 4-8 is reproduced; see DESIGN.md §5.  The defaults below model a
+software-switch testbed: a ~12 µs per-packet router datapath (≈ 480
+Mbit/s of MTU frames through one router), an 8 µs trusted-endpoint cost,
+a 15 µs compare (memcmp + socket handling), a 42 µs per-datagram UDP
+sender cost (iperf's syscall path), and a receive path costing
+~2 µs + 9.5 ns/byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.core.combiner import (
+    CombinerChain,
+    CombinerChainParams,
+    build_combiner_chain,
+)
+from repro.core.compare import CompareConfig
+from repro.core.endpoint import MODE_COMBINE, MODE_DUP
+from repro.net.host import Host
+from repro.net.topology import Network
+from repro.traffic.iperf import PathEndpoints
+
+VARIANTS = ("linespeed", "central3", "central5", "pox3", "dup3", "dup5")
+
+
+@dataclass
+class TestbedParams:
+    """Calibrated parameters of the Figure 3 testbed (see module doc)."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    link_rate_bps: float = 1e9
+    link_delay: float = 3e-6
+    queue_capacity: int = 60
+    switch_service_queue: int = 150
+    host_stack_delay: float = 30e-6
+    host_stack_jitter: float = 3e-6
+    host_recv_cost_base: float = 2e-6
+    host_recv_cost_per_byte: float = 8e-9
+    router_proc_time: float = 5e-6
+    router_proc_per_byte: float = 2.5e-9
+    endpoint_proc_time: float = 1e-6
+    endpoint_proc_per_byte: float = 2e-9
+    shared_cpu: bool = True
+    compare_proc_time: float = 4e-6
+    compare_proc_per_byte: float = 13.5e-9
+    compare_link_rate_bps: float = 1e9
+    compare_link_delay: float = 15e-6
+    compare_buffer_timeout: float = 5e-3
+    compare_cache_capacity: int = 4096
+    compare_cleanup_duration: float = 2e-4
+    compare_cleanup_scan_cost: float = 1e-7
+    pox_channel_latency: float = 100e-6
+    pox_proc_time: float = 120e-6
+    #: per-datagram sender CPU cost for UDP tests (iperf -u syscall path)
+    udp_send_cost: float = 42e-6
+    seed: int = 0
+
+    def compare_config(self, k: int) -> CompareConfig:
+        return CompareConfig(
+            k=k,
+            proc_time=self.compare_proc_time,
+            proc_per_byte=self.compare_proc_per_byte,
+            buffer_timeout=self.compare_buffer_timeout,
+            cache_capacity=self.compare_cache_capacity,
+            cleanup_duration=self.compare_cleanup_duration,
+            cleanup_scan_cost=self.compare_cleanup_scan_cost,
+        )
+
+
+#: variant -> (k, endpoint mode, compare transport)
+_VARIANT_SPECS: Dict[str, tuple] = {
+    "linespeed": (1, MODE_DUP, "inline"),
+    "central3": (3, MODE_COMBINE, "inline"),
+    "central5": (5, MODE_COMBINE, "inline"),
+    "pox3": (3, MODE_COMBINE, "controller"),
+    "dup3": (3, MODE_DUP, "inline"),
+    "dup5": (5, MODE_DUP, "inline"),
+}
+
+
+class Testbed:
+    """A built Figure 3 scenario: network, hosts, combiner chain."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    def __init__(
+        self,
+        variant: str,
+        network: Network,
+        h1: Host,
+        h2: Host,
+        chain: CombinerChain,
+        params: TestbedParams,
+    ) -> None:
+        self.variant = variant
+        self.network = network
+        self.h1 = h1
+        self.h2 = h2
+        self.chain = chain
+        self.params = params
+
+    def path(self, reverse: bool = False) -> PathEndpoints:
+        """Measurement endpoints (h1 as client unless reversed)."""
+        if reverse:
+            return PathEndpoints(self.network, self.h2, self.h1)
+        return PathEndpoints(self.network, self.h1, self.h2)
+
+    @property
+    def compare_core(self):
+        return self.chain.compare_core
+
+    @property
+    def routers(self):
+        return self.chain.routers
+
+
+def build_testbed(
+    variant: str,
+    params: Optional[TestbedParams] = None,
+    seed: Optional[int] = None,
+) -> Testbed:
+    """Build one Section V scenario from scratch."""
+    if variant not in _VARIANT_SPECS:
+        raise ValueError(f"unknown testbed variant {variant!r}; pick from {VARIANTS}")
+    params = params or TestbedParams()
+    if seed is not None:
+        params = replace(params, seed=seed)
+    k, mode, transport = _VARIANT_SPECS[variant]
+
+    net = Network(seed=params.seed)
+    chain_params = CombinerChainParams(
+        k=k,
+        mode=mode,
+        link_rate_bps=params.link_rate_bps,
+        link_delay=params.link_delay,
+        queue_capacity=params.queue_capacity,
+        router_proc_time=params.router_proc_time,
+        router_proc_per_byte=params.router_proc_per_byte,
+        endpoint_proc_time=params.endpoint_proc_time,
+        endpoint_proc_per_byte=params.endpoint_proc_per_byte,
+        shared_cpu=params.shared_cpu,
+        switch_service_queue=params.switch_service_queue,
+        compare_link_rate_bps=params.compare_link_rate_bps,
+        compare_link_delay=params.compare_link_delay,
+        compare=params.compare_config(k),
+        transport=transport,
+        controller_latency=params.pox_channel_latency,
+        controller_proc_time=params.pox_proc_time,
+    )
+    chain = build_combiner_chain(net, "nc", chain_params)
+
+    h1 = net.add_host(
+        "h1",
+        stack_delay=params.host_stack_delay,
+        stack_jitter=params.host_stack_jitter,
+        recv_cost_base=params.host_recv_cost_base,
+        recv_cost_per_byte=params.host_recv_cost_per_byte,
+    )
+    h2 = net.add_host(
+        "h2",
+        stack_delay=params.host_stack_delay,
+        stack_jitter=params.host_stack_jitter,
+        recv_cost_base=params.host_recv_cost_base,
+        recv_cost_per_byte=params.host_recv_cost_per_byte,
+    )
+    net.connect(
+        h1,
+        chain.endpoint_a,
+        rate_bps=params.link_rate_bps,
+        delay=params.link_delay,
+        queue_capacity=params.queue_capacity,
+    )
+    net.connect(
+        h2,
+        chain.endpoint_b,
+        rate_bps=params.link_rate_bps,
+        delay=params.link_delay,
+        queue_capacity=params.queue_capacity,
+    )
+    # MAC-destination routing on the untrusted routers (the paper's only
+    # matched header field).
+    chain.install_mac_route(h2.mac, toward="b")
+    chain.install_mac_route(h1.mac, toward="a")
+    return Testbed(variant, net, h1, h2, chain, params)

@@ -1,0 +1,270 @@
+"""Discrete-event simulation kernel.
+
+The entire NetCo reproduction runs on top of this engine: links, switch
+datapaths, the compare element, traffic generators and controller channels
+all schedule callbacks on a single shared :class:`Simulator`.
+
+Time is kept as a float number of *seconds* of simulated time.  The engine
+is deterministic: events scheduled at the same timestamp fire in the order
+they were scheduled (FIFO tie-breaking via a monotonically increasing
+sequence number), and all randomness flows through seeded
+:class:`repro.sim.rng.RngStreams`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+class SimulationError(Exception):
+    """Raised for invalid uses of the simulation engine."""
+
+
+@dataclass(order=True)
+class _Event:
+    """A single scheduled callback.
+
+    Ordering is (time, seq) so that simultaneous events preserve FIFO
+    scheduling order, which keeps runs bit-for-bit reproducible.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Cancel the event if it has not fired yet (idempotent)."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        """Simulated timestamp at which the event will fire."""
+        return self._event.time
+
+
+class Simulator:
+    """A deterministic event-driven simulator.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(0.5, lambda: print("fires at t=0.5s"))
+        sim.run(until=1.0)
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[_Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._events_processed = 0
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (telemetry/debugging)."""
+        return self._events_processed
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative; a zero delay schedules the callback
+        to run after all events already queued for the current instant.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (now={self._now}, when={when})"
+            )
+        event = _Event(time=when, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events in timestamp order.
+
+        Args:
+            until: stop once the clock would pass this simulated time; the
+                clock is advanced to ``until`` on return.  ``None`` runs to
+                queue exhaustion.
+            max_events: safety valve; raise :class:`SimulationError` if more
+                than this many events execute (useful to catch runaway
+                retransmission loops in tests).
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        self._stop_requested = False
+        executed = 0
+        try:
+            while self._queue:
+                if self._stop_requested:
+                    break
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                event.callback()
+                self._events_processed += 1
+                executed += 1
+                if max_events is not None and executed > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway event loop?"
+                    )
+            if until is not None and not self._stop_requested and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stop_requested = True
+
+    def pending_events(self) -> int:
+        """Number of queued (non-cancelled) events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+
+class CpuResource:
+    """A single-server processing resource with FIFO queueing.
+
+    Used to model a shared CPU: Mininet runs every software switch on the
+    same machine, so per-packet datapath work from *different* switches
+    serialises.  ``acquire`` books ``duration`` seconds of service
+    starting no earlier than ``now`` and returns the completion time.
+    """
+
+    __slots__ = ("name", "_busy_until", "busy_time")
+
+    def __init__(self, name: str = "cpu") -> None:
+        self.name = name
+        self._busy_until = 0.0
+        self.busy_time = 0.0
+
+    def acquire(self, now: float, duration: float) -> float:
+        start = max(now, self._busy_until)
+        finish = start + duration
+        self._busy_until = finish
+        self.busy_time += duration
+        return finish
+
+    def backlog(self, now: float) -> float:
+        """Seconds of queued work ahead of a new arrival."""
+        return max(0.0, self._busy_until - now)
+
+
+class Timer:
+    """A restartable one-shot timer bound to a simulator.
+
+    Wraps the schedule/cancel dance used by retransmission timers, compare
+    buffer expirations and DoS block timers.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], None]) -> None:
+        self._sim = sim
+        self._callback = callback
+        self._handle: Optional[EventHandle] = None
+
+    def start(self, delay: float) -> None:
+        """(Re)start the timer to fire ``delay`` seconds from now."""
+        self.cancel()
+        self._handle = self._sim.schedule(delay, self._fire)
+
+    def cancel(self) -> None:
+        """Stop the timer if running (idempotent)."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    @property
+    def running(self) -> bool:
+        return self._handle is not None and not self._handle.cancelled
+
+    def _fire(self) -> None:
+        self._handle = None
+        self._callback()
+
+
+class PeriodicTask:
+    """Invoke a callback at a fixed simulated period until stopped."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        callback: Callable[[], None],
+        jitter_fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if period <= 0:
+            raise SimulationError(f"period must be positive (got {period})")
+        self._sim = sim
+        self._period = period
+        self._callback = callback
+        self._jitter_fn = jitter_fn
+        self._handle: Optional[EventHandle] = None
+        self._stopped = True
+
+    def start(self, initial_delay: float = 0.0) -> None:
+        self._stopped = False
+        self._handle = self._sim.schedule(initial_delay, self._tick)
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    @property
+    def running(self) -> bool:
+        return not self._stopped
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self._callback()
+        if self._stopped:  # callback may stop the task
+            return
+        delay = self._period
+        if self._jitter_fn is not None:
+            delay = max(0.0, delay + self._jitter_fn())
+        self._handle = self._sim.schedule(delay, self._tick)

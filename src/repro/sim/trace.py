@@ -1,0 +1,86 @@
+"""Event tracing / telemetry bus.
+
+The case study in Section VI of the paper verifies routing behaviour with
+``tcpdump`` taps on every interface adjacent to the benign path plus flow
+table counters.  :class:`TraceBus` is the simulator-native equivalent: any
+component can ``emit`` a typed record, and observers (tests, the case-study
+screening harness, debugging tools) subscribe by topic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One telemetry record."""
+
+    time: float
+    topic: str
+    source: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+Listener = Callable[[TraceRecord], None]
+
+
+class TraceBus:
+    """Publish/subscribe bus for simulation telemetry.
+
+    Topics are plain strings (``"link.drop"``, ``"compare.release"``,
+    ``"alarm"`` ...).  A listener subscribed to ``""`` receives everything.
+    Records are also retained in memory (bounded) for post-run assertions.
+    """
+
+    def __init__(self, retain: bool = True, max_records: int = 1_000_000) -> None:
+        self._listeners: Dict[str, List[Listener]] = {}
+        self._retain = retain
+        self._max_records = max_records
+        self.records: List[TraceRecord] = []
+
+    def subscribe(self, topic: str, listener: Listener) -> None:
+        self._listeners.setdefault(topic, []).append(listener)
+
+    def unsubscribe(self, topic: str, listener: Listener) -> None:
+        listeners = self._listeners.get(topic, [])
+        if listener in listeners:
+            listeners.remove(listener)
+
+    def emit(
+        self,
+        time: float,
+        topic: str,
+        source: str,
+        **data: Any,
+    ) -> None:
+        record = TraceRecord(time=time, topic=topic, source=source, data=data)
+        if self._retain and len(self.records) < self._max_records:
+            self.records.append(record)
+        for listener in self._listeners.get(topic, ()):
+            listener(record)
+        for listener in self._listeners.get("", ()):
+            listener(record)
+
+    # ------------------------------------------------------------------
+    # query helpers (used heavily by tests and the case-study screening)
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        topic: Optional[str] = None,
+        source: Optional[str] = None,
+    ) -> List[TraceRecord]:
+        """Return retained records filtered by exact topic and/or source."""
+        out = self.records
+        if topic is not None:
+            out = [r for r in out if r.topic == topic]
+        if source is not None:
+            out = [r for r in out if r.source == source]
+        return list(out)
+
+    def count(self, topic: Optional[str] = None, source: Optional[str] = None) -> int:
+        return len(self.select(topic=topic, source=source))
+
+    def clear(self) -> None:
+        self.records.clear()

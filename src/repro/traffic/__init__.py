@@ -1,0 +1,45 @@
+"""Traffic generation and measurement (iperf/ping analogues)."""
+
+from repro.traffic.iperf import (
+    DRAIN_TIME,
+    PathEndpoints,
+    find_max_udp_rate,
+    run_ping,
+    run_tcp_flow,
+    run_udp_flow,
+)
+from repro.traffic.ping import Pinger, PingResult
+from repro.traffic.stats import (
+    JitterEstimator,
+    SummaryStats,
+    ThroughputMeter,
+    mbits,
+)
+from repro.traffic.tcp import TcpFlowResult, TcpReceiver, TcpSender
+from repro.traffic.traceroute import Traceroute, TracerouteHop, TracerouteResult, run_traceroute
+from repro.traffic.udp import UdpFlowResult, UdpReceiver, UdpSender
+
+__all__ = [
+    "DRAIN_TIME",
+    "PathEndpoints",
+    "find_max_udp_rate",
+    "run_ping",
+    "run_tcp_flow",
+    "run_udp_flow",
+    "Pinger",
+    "PingResult",
+    "JitterEstimator",
+    "SummaryStats",
+    "ThroughputMeter",
+    "mbits",
+    "TcpFlowResult",
+    "TcpReceiver",
+    "TcpSender",
+    "Traceroute",
+    "TracerouteHop",
+    "TracerouteResult",
+    "run_traceroute",
+    "UdpFlowResult",
+    "UdpReceiver",
+    "UdpSender",
+]

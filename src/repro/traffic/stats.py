@@ -1,0 +1,127 @@
+"""Measurement primitives: throughput, loss, RTT and RFC 3550 jitter.
+
+These mirror what the paper's tools report: *iperf* throughput and loss
+percentages, *iperf -u* jitter (the RFC 3550 interarrival-jitter
+estimator), and *ping* RTT statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+def mbits(value_bytes: float, seconds: float) -> float:
+    """Convert a byte count over a window to Mbit/s."""
+    if seconds <= 0:
+        return 0.0
+    return value_bytes * 8.0 / seconds / 1e6
+
+
+@dataclass
+class SummaryStats:
+    """Mean/min/max/stdev/percentiles over a sample list."""
+
+    samples: List[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    @property
+    def stdev(self) -> float:
+        n = len(self.samples)
+        if n < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((x - mu) ** 2 for x in self.samples) / (n - 1))
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile, p in [0, 100]."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100.0) * (len(ordered) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return ordered[low]
+        frac = rank - low
+        return ordered[low] * (1 - frac) + ordered[high] * frac
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "stdev": self.stdev,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+        }
+
+
+class JitterEstimator:
+    """RFC 3550 interarrival jitter: J += (|D(i-1,i)| - J) / 16.
+
+    ``D`` compares the spacing of receipt times against the spacing of
+    send times (send timestamps ride in the measurement payload, exactly
+    as iperf does it).
+    """
+
+    def __init__(self) -> None:
+        self._prev_send: Optional[float] = None
+        self._prev_recv: Optional[float] = None
+        self.jitter = 0.0
+        self.samples = 0
+
+    def observe(self, send_time: float, recv_time: float) -> None:
+        if self._prev_send is not None and self._prev_recv is not None:
+            transit_delta = (recv_time - self._prev_recv) - (send_time - self._prev_send)
+            self.jitter += (abs(transit_delta) - self.jitter) / 16.0
+            self.samples += 1
+        self._prev_send = send_time
+        self._prev_recv = recv_time
+
+
+class ThroughputMeter:
+    """Byte counting over an observation window."""
+
+    def __init__(self) -> None:
+        self.bytes = 0
+        self.packets = 0
+        self.first_time: Optional[float] = None
+        self.last_time: Optional[float] = None
+
+    def observe(self, nbytes: int, now: float) -> None:
+        self.bytes += nbytes
+        self.packets += 1
+        if self.first_time is None:
+            self.first_time = now
+        self.last_time = now
+
+    def mbps(self, window: Optional[float] = None) -> float:
+        """Throughput in Mbit/s, over ``window`` or first-to-last arrival."""
+        if window is not None:
+            return mbits(self.bytes, window)
+        if self.first_time is None or self.last_time is None:
+            return 0.0
+        return mbits(self.bytes, self.last_time - self.first_time)

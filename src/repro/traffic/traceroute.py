@@ -1,0 +1,162 @@
+"""Traceroute over the simulated network.
+
+Classic increasing-TTL path discovery: probe i goes out with TTL=i and
+the ICMP Time Exceeded error from the router that dropped it reveals hop
+i; the run terminates when the destination itself answers (echo reply).
+
+Works over :class:`~repro.net.legacy.LegacyRouter` chains (the switches
+of the OpenFlow substrate are L2 devices and do not decrement TTL — as
+in reality, they are invisible to traceroute).  Related-work context:
+the paper cites secure-traceroute systems as the per-path alternative to
+NetCo's redundancy; having the tool lets experiments show what a path
+probe does and does not see through a combiner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.net.addresses import IpAddress, MacAddress
+from repro.net.host import Host
+from repro.net.legacy import ICMP_TIME_EXCEEDED
+from repro.net.packet import Icmp, Packet
+
+
+@dataclass
+class TracerouteHop:
+    """One discovered hop."""
+
+    ttl: int
+    address: Optional[IpAddress]  # None = no answer (a '*' line)
+    rtt_s: Optional[float] = None
+
+    @property
+    def answered(self) -> bool:
+        return self.address is not None
+
+
+@dataclass
+class TracerouteResult:
+    hops: List[TracerouteHop] = field(default_factory=list)
+    reached: bool = False
+
+    def addresses(self) -> List[Optional[str]]:
+        return [str(h.address) if h.address else None for h in self.hops]
+
+
+class Traceroute:
+    """Increasing-TTL prober bound to one host."""
+
+    def __init__(
+        self,
+        host: Host,
+        dst_mac: MacAddress,
+        dst_ip: IpAddress,
+        max_hops: int = 16,
+        probe_timeout: float = 5e-3,
+        ident: int = 7777,
+    ) -> None:
+        self.host = host
+        self.dst_mac = MacAddress(dst_mac)
+        self.dst_ip = IpAddress(dst_ip)
+        self.max_hops = max_hops
+        self.probe_timeout = probe_timeout
+        self.ident = ident
+        self.result = TracerouteResult()
+        self._done_cb: Optional[Callable[[TracerouteResult], None]] = None
+        self._current_ttl = 0
+        self._probe_sent_at = 0.0
+        self._answered = False
+        host.bind_icmp(self._on_icmp)
+
+    def close(self) -> None:
+        self.host.enable_echo_responder()
+
+    # ------------------------------------------------------------------
+    def run(self, done_cb: Optional[Callable[[TracerouteResult], None]] = None) -> None:
+        self._done_cb = done_cb
+        self._next_probe()
+
+    def _next_probe(self) -> None:
+        self._current_ttl += 1
+        if self._current_ttl > self.max_hops:
+            self._finish()
+            return
+        self._answered = False
+        self._probe_sent_at = self.host.sim.now
+        probe = Packet.icmp_echo(
+            src_mac=self.host.mac,
+            dst_mac=self.dst_mac,
+            src_ip=self.host.ip,
+            dst_ip=self.dst_ip,
+            ident=self.ident,
+            seqno=self._current_ttl,
+            ttl=self._current_ttl,
+            ip_ident=self.host.next_ip_ident(),
+        )
+        self.host.send(probe)
+        ttl_snapshot = self._current_ttl
+        self.host.sim.schedule(
+            self.probe_timeout, lambda: self._on_timeout(ttl_snapshot)
+        )
+
+    def _on_timeout(self, ttl: int) -> None:
+        if self._answered or ttl != self._current_ttl:
+            return
+        self.result.hops.append(TracerouteHop(ttl=ttl, address=None))
+        self._next_probe()
+
+    # ------------------------------------------------------------------
+    def _on_icmp(self, packet: Packet) -> None:
+        icmp = packet.l4
+        if not isinstance(icmp, Icmp):
+            return
+        if icmp.icmp_type == 8:  # echo request for us: stay a good citizen
+            self.host._echo_responder(packet)
+            return
+        if self._answered:
+            return
+        now = self.host.sim.now
+        if icmp.icmp_type == ICMP_TIME_EXCEEDED:
+            self._answered = True
+            self.result.hops.append(
+                TracerouteHop(
+                    ttl=self._current_ttl,
+                    address=packet.ip.src,
+                    rtt_s=now - self._probe_sent_at,
+                )
+            )
+            self._next_probe()
+        elif icmp.is_echo_reply and icmp.ident == self.ident:
+            self._answered = True
+            self.result.hops.append(
+                TracerouteHop(
+                    ttl=self._current_ttl,
+                    address=packet.ip.src,
+                    rtt_s=now - self._probe_sent_at,
+                )
+            )
+            self.result.reached = True
+            self._finish()
+
+    def _finish(self) -> None:
+        if self._done_cb is not None:
+            self._done_cb(self.result)
+
+
+def run_traceroute(
+    network,
+    src: Host,
+    dst_mac: MacAddress,
+    dst_ip: IpAddress,
+    max_hops: int = 16,
+    probe_timeout: float = 5e-3,
+) -> TracerouteResult:
+    """Convenience wrapper: run a traceroute to completion."""
+    tracer = Traceroute(src, dst_mac, dst_ip, max_hops=max_hops,
+                        probe_timeout=probe_timeout)
+    tracer.run()
+    network.run(until=network.sim.now + (max_hops + 1) * probe_timeout + 0.01)
+    tracer.close()
+    return tracer.result

@@ -1,0 +1,195 @@
+"""UDP constant-bit-rate traffic — the simulator's ``iperf -u``.
+
+The sender paces fixed-size datagrams at a target application bitrate;
+each payload carries a sequence number and the send timestamp, from which
+the receiver computes loss, duplication (relevant in the Dup3/Dup5
+scenarios, where every datagram arrives k times), reordering and RFC 3550
+jitter — the same statistics iperf's UDP server reports.
+
+Real iperf is bounded by per-datagram syscall cost at the sender, which
+is why the paper's *UDP* Linespeed number (278 Mbit/s) sits far below its
+*TCP* number (474 Mbit/s).  ``send_cost`` models that per-packet sender
+CPU cost; see DESIGN.md's calibration notes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from repro.net.host import Host
+from repro.net.packet import Packet
+from repro.traffic.stats import JitterEstimator, ThroughputMeter
+
+_HEADER = struct.Struct("!IQ")  # sequence number, send time in ns
+
+
+def _encode_payload(seq: int, now: float, size: int) -> bytes:
+    header = _HEADER.pack(seq & 0xFFFFFFFF, int(now * 1e9))
+    if size < _HEADER.size:
+        raise ValueError(f"payload size must be >= {_HEADER.size}, got {size}")
+    return header + b"\x00" * (size - _HEADER.size)
+
+
+def _decode_payload(payload: bytes) -> Optional[tuple]:
+    if len(payload) < _HEADER.size:
+        return None
+    seq, send_ns = _HEADER.unpack_from(payload)
+    return seq, send_ns / 1e9
+
+
+@dataclass
+class UdpFlowResult:
+    """End-of-run report for one UDP flow (iperf server-side summary)."""
+
+    sent: int
+    received_unique: int
+    duplicates: int
+    reordered: int
+    payload_size: int
+    duration: float
+    jitter_s: float
+
+    @property
+    def lost(self) -> int:
+        return max(0, self.sent - self.received_unique)
+
+    @property
+    def loss_rate(self) -> float:
+        return self.lost / self.sent if self.sent else 0.0
+
+    @property
+    def throughput_mbps(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return self.received_unique * self.payload_size * 8.0 / self.duration / 1e6
+
+    @property
+    def offered_mbps(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return self.sent * self.payload_size * 8.0 / self.duration / 1e6
+
+    @property
+    def jitter_ms(self) -> float:
+        return self.jitter_s * 1e3
+
+
+class UdpSender:
+    """Paced CBR datagram source."""
+
+    def __init__(
+        self,
+        host: Host,
+        dst_mac,
+        dst_ip,
+        dport: int,
+        rate_bps: float,
+        payload_size: int = 1470,
+        sport: int = 50000,
+        send_cost: float = 0.0,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError("rate_bps must be positive")
+        if payload_size < _HEADER.size:
+            raise ValueError(
+                f"payload size must be >= {_HEADER.size}, got {payload_size}"
+            )
+        self.host = host
+        self.dst_mac = dst_mac
+        self.dst_ip = dst_ip
+        self.dport = dport
+        self.sport = sport
+        self.rate_bps = rate_bps
+        self.payload_size = payload_size
+        self.send_cost = send_cost
+        self.sent = 0
+        self._running = False
+        self._end_time = 0.0
+
+    @property
+    def interval(self) -> float:
+        """Inter-departure time: the slower of pacing and sender CPU."""
+        return max(self.payload_size * 8.0 / self.rate_bps, self.send_cost)
+
+    def start(self, duration: float, delay: float = 0.0) -> None:
+        """Begin sending; stops once ``duration`` of sending has elapsed."""
+        self._running = True
+        sim = self.host.sim
+        self._end_time = sim.now + delay + duration
+        sim.schedule(delay, self._send_one)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _send_one(self) -> None:
+        sim = self.host.sim
+        if not self._running or sim.now >= self._end_time:
+            self._running = False
+            return
+        payload = _encode_payload(self.sent, sim.now, self.payload_size)
+        packet = Packet.udp(
+            src_mac=self.host.mac,
+            dst_mac=self.dst_mac,
+            src_ip=self.host.ip,
+            dst_ip=self.dst_ip,
+            sport=self.sport,
+            dport=self.dport,
+            payload=payload,
+            ident=self.host.next_ip_ident(),
+        )
+        self.host.send(packet)
+        self.sent += 1
+        sim.schedule(self.interval, self._send_one)
+
+
+class UdpReceiver:
+    """Deduplicating iperf-style UDP sink with jitter/loss accounting."""
+
+    def __init__(self, host: Host, port: int) -> None:
+        self.host = host
+        self.port = port
+        self.payload_size = 0
+        self.duplicates = 0
+        self.reordered = 0
+        self.highest_seq = -1
+        self._seen: Set[int] = set()
+        self.meter = ThroughputMeter()
+        self.jitter = JitterEstimator()
+        host.bind_udp(port, self._on_packet)
+
+    def close(self) -> None:
+        self.host.unbind_udp(self.port)
+
+    def _on_packet(self, packet: Packet) -> None:
+        decoded = _decode_payload(packet.payload)
+        if decoded is None:
+            return
+        seq, send_time = decoded
+        if seq in self._seen:
+            self.duplicates += 1
+            return
+        self._seen.add(seq)
+        now = self.host.sim.now
+        self.payload_size = max(self.payload_size, len(packet.payload))
+        if seq < self.highest_seq:
+            self.reordered += 1
+        self.highest_seq = max(self.highest_seq, seq)
+        self.meter.observe(len(packet.payload), now)
+        self.jitter.observe(send_time, now)
+
+    @property
+    def received_unique(self) -> int:
+        return len(self._seen)
+
+    def result(self, sender: UdpSender, duration: float) -> UdpFlowResult:
+        return UdpFlowResult(
+            sent=sender.sent,
+            received_unique=self.received_unique,
+            duplicates=self.duplicates,
+            reordered=self.reordered,
+            payload_size=sender.payload_size,
+            duration=duration,
+            jitter_s=self.jitter.jitter,
+        )

@@ -1,0 +1,154 @@
+"""Tests for the ARP implementation, alone and through a combiner."""
+
+import pytest
+
+from repro.net import ETH_TYPE_ARP, IpAddress, MacAddress, Network
+from repro.net.arp import ARP_REPLY, ARP_REQUEST, ArpPayload, attach_arp
+from repro.openflow import Match, OpenFlowSwitch, Output, flood
+
+
+class TestArpPayload:
+    def test_roundtrip(self):
+        arp = ArpPayload(
+            ARP_REQUEST,
+            MacAddress.from_index(1), IpAddress("10.0.0.1"),
+            MacAddress(0), IpAddress("10.0.0.2"),
+        )
+        parsed = ArpPayload.from_bytes(arp.to_bytes())
+        assert parsed.op == ARP_REQUEST
+        assert parsed.sender_ip == IpAddress("10.0.0.1")
+        assert parsed.target_ip == IpAddress("10.0.0.2")
+
+    def test_malformed_rejected(self):
+        assert ArpPayload.from_bytes(b"short") is None
+        bad = bytearray(
+            ArpPayload(
+                ARP_REQUEST, MacAddress(0), IpAddress(0), MacAddress(0), IpAddress(0)
+            ).to_bytes()
+        )
+        bad[0] = 9  # wrong hardware type
+        assert ArpPayload.from_bytes(bytes(bad)) is None
+
+
+def lan(n_hosts=3):
+    """Hosts on one switch that floods broadcasts and learns nothing."""
+    net = Network(seed=19)
+    switch = OpenFlowSwitch(net.sim, "s1", trace_bus=net.trace)
+    net.add_node(switch)
+    hosts = []
+    for i in range(n_hosts):
+        host = net.add_host(f"h{i+1}")
+        net.connect(host, switch)
+        hosts.append(host)
+    switch.install(Match(dl_dst=MacAddress.BROADCAST), [flood()], priority=20)
+    for host in hosts:
+        switch.install(
+            Match(dl_dst=host.mac),
+            [Output(net.port_no_between("s1", host.name))],
+            priority=10,
+        )
+    services = [attach_arp(host) for host in hosts]
+    return net, hosts, services
+
+
+class TestResolution:
+    def test_basic_resolution(self):
+        net, (h1, h2, _h3), (arp1, arp2, _arp3) = lan()
+        results = []
+        arp1.resolve(h2.ip, results.append)
+        net.run(until=0.01)
+        assert results == [h2.mac]
+        assert arp1.requests_sent == 1
+        assert arp2.replies_sent == 1
+
+    def test_cache_hit_sends_no_request(self):
+        net, (h1, h2, _h3), (arp1, _a2, _a3) = lan()
+        arp1.resolve(h2.ip, lambda mac: None)
+        net.run(until=0.01)
+        before = arp1.requests_sent
+        results = []
+        arp1.resolve(h2.ip, results.append)
+        net.run(until=0.02)
+        assert results == [h2.mac]
+        assert arp1.requests_sent == before
+
+    def test_concurrent_resolutions_share_one_request(self):
+        net, (h1, h2, _h3), (arp1, _a2, _a3) = lan()
+        results = []
+        arp1.resolve(h2.ip, results.append)
+        arp1.resolve(h2.ip, results.append)
+        net.run(until=0.01)
+        assert results == [h2.mac, h2.mac]
+        assert arp1.requests_sent == 1
+
+    def test_unanswered_resolution_fails_after_retries(self):
+        net, (h1, _h2, _h3), (arp1, _a2, _a3) = lan()
+        results = []
+        arp1.resolve(IpAddress("10.9.9.9"), results.append)
+        net.run(until=0.1)
+        assert results == [None]
+        assert arp1.requests_sent == arp1.max_retries
+        assert arp1.failures == 1
+
+    def test_only_target_replies(self):
+        net, (h1, h2, h3), (arp1, arp2, arp3) = lan()
+        arp1.resolve(h2.ip, lambda mac: None)
+        net.run(until=0.01)
+        assert arp2.replies_sent == 1
+        assert arp3.replies_sent == 0
+
+    def test_opportunistic_learning_from_requests(self):
+        net, (h1, h2, _h3), (arp1, arp2, _a3) = lan()
+        arp1.resolve(h2.ip, lambda mac: None)
+        net.run(until=0.01)
+        # h2 saw h1's request and cached the sender mapping
+        assert arp2.lookup(h1.ip) == h1.mac
+
+    def test_cache_expiry(self):
+        net, (h1, h2, _h3), (arp1, _a2, _a3) = lan()
+        arp1.cache_timeout = 0.005
+        arp1.resolve(h2.ip, lambda mac: None)
+        net.run(until=0.001)
+        assert arp1.lookup(h2.ip) == h2.mac
+        net.run(until=0.02)
+        assert arp1.lookup(h2.ip) is None
+
+    def test_retry_recovers_from_lost_request(self):
+        net, (h1, h2, _h3), (arp1, _a2, _a3) = lan()
+        # drop the first broadcast by blocking h2 briefly
+        h2.port(1).block_for(1.5e-3)
+        results = []
+        arp1.resolve(h2.ip, results.append)
+        net.run(until=0.05)
+        assert results == [h2.mac]
+        assert arp1.requests_sent >= 2
+
+
+class TestArpThroughCombiner:
+    def test_broadcast_resolution_across_combiner(self):
+        """ARP's broadcasts replicate through the hub and the replies
+        win their vote like any other packet."""
+        from repro.core import CombinerChainParams, CompareConfig, build_combiner_chain
+
+        net = Network(seed=20)
+        chain = build_combiner_chain(
+            net, "nc",
+            CombinerChainParams(k=3, compare=CompareConfig(k=3, buffer_timeout=2e-3)),
+        )
+        h1 = net.add_host("h1")
+        h2 = net.add_host("h2")
+        net.connect(h1, chain.endpoint_a)
+        net.connect(h2, chain.endpoint_b)
+        chain.install_mac_route(h2.mac, toward="b")
+        chain.install_mac_route(h1.mac, toward="a")
+        # broadcasts need a route through the untrusted routers too
+        chain.install_mac_route(MacAddress.BROADCAST, toward="b")
+
+        arp1 = attach_arp(h1)
+        attach_arp(h2)
+        results = []
+        arp1.resolve(h2.ip, results.append)
+        net.run(until=0.05)
+        assert results == [h2.mac]
+        # the reply was voted on: one release, no duplicates delivered
+        assert chain.compare_core.stats.released >= 2

@@ -1,0 +1,98 @@
+"""Tests pinning the Section VI case study to the paper's exact numbers."""
+
+import pytest
+
+from repro.scenarios.datacenter import BENIGN_PATH, DatacenterCaseStudy
+
+
+@pytest.fixture(scope="module")
+def study():
+    return DatacenterCaseStudy(seed=1, echo_count=10)
+
+
+@pytest.fixture(scope="module")
+def baseline(study):
+    return study.run_baseline()
+
+
+@pytest.fixture(scope="module")
+def attack(study):
+    return study.run_attack()
+
+
+@pytest.fixture(scope="module")
+def protected(study):
+    return study.run_protected()
+
+
+class TestBaseline:
+    def test_ten_perfect_cycles(self, baseline):
+        assert baseline.requests_sent == 10
+        assert baseline.requests_at_fw1 == 10
+        assert baseline.responses_at_vm1 == 10
+
+    def test_no_stray_packets(self, baseline):
+        assert baseline.screening.strays == 0
+        assert baseline.screening.stray_nodes == []
+
+    def test_screening_saw_the_benign_path(self, baseline):
+        for node in ("edge2", "agg1", "edge1"):
+            assert baseline.screening.per_node.get(node, 0) > 0
+        # 10 requests + 10 responses traverse each path switch
+        assert baseline.screening.per_node["agg1"] == 20
+
+
+class TestAttack:
+    def test_twenty_requests_at_fw1(self, attack):
+        # "After 10 requests sent, we witness 20 requests arriving at fw1"
+        assert attack.requests_sent == 10
+        assert attack.requests_at_fw1 == 20
+
+    def test_zero_responses_at_vm1(self, attack):
+        assert attack.responses_at_vm1 == 0
+
+    def test_mirrored_copies_cross_the_core(self, attack):
+        assert "core1" in attack.screening.stray_nodes
+        assert attack.screening.per_node["core1"] == 10
+
+    def test_no_other_strays(self, attack):
+        assert attack.screening.stray_nodes == ["core1"]
+
+
+class TestProtected:
+    def test_all_ten_cycles_complete(self, protected):
+        assert protected.requests_sent == 10
+        assert protected.responses_at_vm1 == 10
+
+    def test_fw1_sees_only_the_true_requests(self, protected):
+        assert protected.requests_at_fw1 == 10
+
+    def test_no_packet_strays_from_benign_path(self, protected):
+        assert protected.screening.strays == 0
+
+    def test_mirrored_copies_died_in_the_compare(self, protected):
+        # "we saw the mirrored packets arriving, yet none of them left
+        # the compare"
+        assert protected.compare_expired_unreleased >= 10
+        assert protected.single_source_alarms >= 10
+
+    def test_responses_released_on_two_of_three(self, protected):
+        # 10 requests + 10 responses released despite the dropped copies
+        assert protected.compare_released == 20
+
+
+class TestVariants:
+    def test_malicious_replica_position_irrelevant(self):
+        study = DatacenterCaseStudy(seed=3, echo_count=5)
+        for position in (0, 1, 2):
+            result = study.run_protected(malicious_replica=position)
+            assert result.responses_at_vm1 == 5, f"replica {position}"
+
+    def test_k5_shield_also_protects(self):
+        study = DatacenterCaseStudy(seed=4, echo_count=5)
+        result = study.run_protected(k=5)
+        assert result.responses_at_vm1 == 5
+        assert result.requests_at_fw1 == 5
+
+    def test_benign_path_constant(self):
+        assert BENIGN_PATH == ("vm1", "edge2", "agg1", "edge1", "fw1")

@@ -1,0 +1,39 @@
+"""Tests for the ``python -m repro`` experiment CLI."""
+
+import pytest
+
+from repro.analysis.cli import COMMANDS, main
+
+
+class TestCli:
+    def test_casestudy_command(self, capsys):
+        assert main(["casestudy"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "attack" in out and "protected" in out
+        assert "20" in out  # the doubled requests
+
+    def test_virtualized_command(self, capsys):
+        assert main(["virtualized"]) == 0
+        out = capsys.readouterr().out
+        assert "DETECTED" in out and "PREVENTED" in out
+
+    def test_fig7_quick(self, capsys):
+        assert main(["fig7", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "linespeed" in out and "central5" in out
+        assert "paper" in out
+
+    def test_fig6_quick(self, capsys):
+        assert main(["fig6", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "goodput" in out and "loss" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])
+
+    def test_all_known_commands_registered(self):
+        assert set(COMMANDS) == {
+            "table1", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "casestudy", "virtualized",
+        }

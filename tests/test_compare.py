@@ -1,0 +1,288 @@
+"""Tests for the compare element: release, timeouts, DoS mitigation,
+liveness alarms, cache cleanup and processing model."""
+
+import pytest
+
+from repro.core import (
+    ALARM_DOS_SUSPECTED,
+    ALARM_ROUTER_UNAVAILABLE,
+    ALARM_SINGLE_SOURCE_PACKET,
+    CompareConfig,
+    CompareContext,
+    CompareCore,
+)
+from repro.net import IpAddress, MacAddress, Packet
+from repro.sim import Simulator
+
+
+def pkt(ident=0, payload=b"x"):
+    return Packet.udp(
+        MacAddress.from_index(1), MacAddress.from_index(2),
+        IpAddress.from_index(1), IpAddress.from_index(2),
+        1, 2, payload=payload, ident=ident,
+    )
+
+
+class Harness:
+    """A compare plus a recording context."""
+
+    def __init__(self, **config_kwargs):
+        self.sim = Simulator()
+        config_kwargs.setdefault("k", 3)
+        config_kwargs.setdefault("buffer_timeout", 0.01)
+        self.core = CompareCore(self.sim, CompareConfig(**config_kwargs))
+        self.released = []
+        self.blocked = []
+        self.context = CompareContext(
+            scope="s",
+            release=self.released.append,
+            block_branch=lambda branch, dur: self.blocked.append((branch, dur)),
+        )
+
+    def submit(self, packet, branch, claim=None):
+        self.core.submit(packet, branch, self.context, claim=claim)
+
+
+class TestRelease:
+    def test_majority_releases_exactly_one_copy(self):
+        h = Harness()
+        p = pkt()
+        for branch in range(3):
+            h.submit(p.copy(), branch)
+        h.sim.run(until=0.001)
+        assert len(h.released) == 1
+        assert h.core.stats.released == 1
+        assert h.core.stats.late_copies == 1
+
+    def test_released_packet_is_first_copy(self):
+        h = Harness()
+        first = pkt()
+        h.submit(first, 0)
+        h.submit(pkt(), 1)
+        h.sim.run(until=0.001)
+        assert h.released[0] is first
+
+    def test_two_copies_suffice_for_k3(self):
+        h = Harness()
+        h.submit(pkt(), 0)
+        h.submit(pkt(), 2)
+        h.sim.run(until=0.001)
+        assert len(h.released) == 1
+
+    def test_single_copy_never_released(self):
+        h = Harness()
+        h.submit(pkt(), 1)
+        h.sim.run(until=0.05)
+        assert h.released == []
+        assert h.core.stats.expired_unreleased == 1
+
+    def test_k5_needs_three(self):
+        h = Harness(k=5)
+        h.submit(pkt(), 0)
+        h.submit(pkt(), 1)
+        h.sim.run(until=0.001)
+        assert h.released == []
+        h.submit(pkt(), 2)
+        h.sim.run(until=0.002)
+        assert len(h.released) == 1
+
+    def test_explicit_quorum_override(self):
+        h = Harness(k=3, quorum=3)
+        h.submit(pkt(), 0)
+        h.submit(pkt(), 1)
+        h.sim.run(until=0.001)
+        assert h.released == []
+
+    def test_different_packets_do_not_vote_together(self):
+        h = Harness()
+        h.submit(pkt(ident=1), 0)
+        h.submit(pkt(ident=2), 1)
+        h.sim.run(until=0.001)
+        assert h.released == []
+
+    def test_tampered_copy_votes_separately(self):
+        h = Harness()
+        h.submit(pkt(payload=b"good"), 0)
+        h.submit(pkt(payload=b"good"), 1)
+        h.submit(pkt(payload=b"evil"), 2)
+        h.sim.run(until=0.001)
+        assert len(h.released) == 1
+        assert h.released[0].payload == b"good"
+
+    def test_scopes_are_isolated(self):
+        h = Harness()
+        other_released = []
+        other = CompareContext("t", other_released.append)
+        h.core.submit(pkt(), 0, h.context)
+        h.core.submit(pkt(), 1, other)
+        h.sim.run(until=0.001)
+        assert h.released == [] and other_released == []
+
+    def test_claims_are_part_of_the_vote(self):
+        # two branches agree on bytes but disagree on the egress port:
+        # no majority for either decision
+        h = Harness()
+        h.submit(pkt(), 0, claim=1)
+        h.submit(pkt(), 1, claim=2)
+        h.sim.run(until=0.001)
+        assert h.released == []
+        h.submit(pkt(), 2, claim=1)
+        h.sim.run(until=0.002)
+        assert len(h.released) == 1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CompareConfig(k=0).validate()
+        with pytest.raises(ValueError):
+            CompareConfig(k=3, quorum=4).validate()
+        with pytest.raises(ValueError):
+            CompareConfig(buffer_timeout=0).validate()
+
+
+class TestTimeoutsAndAlarms:
+    def test_single_source_alarm_on_expiry(self):
+        h = Harness()
+        h.submit(pkt(), 2)
+        h.sim.run(until=0.05)
+        alarms = h.core.alarms.of_kind(ALARM_SINGLE_SOURCE_PACKET)
+        assert len(alarms) == 1
+        assert alarms[0].branch == 2
+
+    def test_no_alarm_for_two_branch_expiry(self):
+        h = Harness(k=5)  # quorum 3
+        h.submit(pkt(), 0)
+        h.submit(pkt(), 1)
+        h.sim.run(until=0.05)
+        assert h.core.alarms.count(ALARM_SINGLE_SOURCE_PACKET) == 0
+        assert h.core.stats.expired_unreleased == 1
+
+    def test_router_unavailable_alarm_after_consecutive_misses(self):
+        h = Harness(miss_threshold=5)
+        for i in range(5):
+            h.submit(pkt(ident=i), 0)
+            h.submit(pkt(ident=i), 1)  # branch 2 never delivers
+        h.sim.run(until=0.1)
+        alarms = h.core.alarms.of_kind(ALARM_ROUTER_UNAVAILABLE)
+        assert len(alarms) == 1
+        assert alarms[0].branch == 2
+
+    def test_miss_counter_resets_on_recovery(self):
+        h = Harness(miss_threshold=5)
+        for i in range(4):
+            h.submit(pkt(ident=i), 0)
+            h.submit(pkt(ident=i), 1)
+        h.submit(pkt(ident=99), 0)
+        h.submit(pkt(ident=99), 1)
+        h.submit(pkt(ident=99), 2)  # branch 2 recovers
+        h.sim.run(until=0.1)
+        for i in range(4):
+            h.submit(pkt(ident=100 + i), 0)
+            h.submit(pkt(ident=100 + i), 1)
+        h.sim.run(until=0.2)
+        assert h.core.alarms.count(ALARM_ROUTER_UNAVAILABLE) == 0
+
+    def test_unavailable_alarm_not_repeated(self):
+        h = Harness(miss_threshold=3)
+        for i in range(10):
+            h.submit(pkt(ident=i), 0)
+            h.submit(pkt(ident=i), 1)
+        h.sim.run(until=0.2)
+        assert h.core.alarms.count(ALARM_ROUTER_UNAVAILABLE) == 1
+
+    def test_flush_finalises_everything(self):
+        h = Harness()
+        h.submit(pkt(), 0)
+        h.sim.run(until=0.001)
+        h.core.flush()
+        assert h.core.stats.expired_unreleased == 1
+        assert len(h.core.book) == 0
+
+
+class TestDosMitigation:
+    def test_duplicate_flood_triggers_block(self):
+        h = Harness(dup_threshold=4, block_duration=0.5)
+        flood_packet = pkt()
+        h.submit(flood_packet.copy(), 1)
+        for _ in range(4):
+            h.submit(flood_packet.copy(), 1)
+        h.sim.run(until=0.001)
+        assert h.blocked == [(1, 0.5)]
+        assert h.core.alarms.count(ALARM_DOS_SUSPECTED) == 1
+
+    def test_block_not_reissued_while_active(self):
+        h = Harness(dup_threshold=2, block_duration=1.0)
+        flood_packet = pkt()
+        h.submit(flood_packet.copy(), 1)
+        for _ in range(10):
+            h.submit(flood_packet.copy(), 1)
+        h.sim.run(until=0.001)
+        assert len(h.blocked) == 1
+
+    def test_benign_traffic_does_not_trigger_block(self):
+        h = Harness(dup_threshold=3)
+        for i in range(20):
+            for branch in range(3):
+                h.submit(pkt(ident=i), branch)
+        h.sim.run(until=0.1)
+        assert h.blocked == []
+
+    def test_crafted_unique_flood_triggers_block(self):
+        h = Harness(craft_threshold=10)
+        for i in range(12):
+            h.submit(pkt(ident=1000 + i), 2)  # unique junk from branch 2
+        h.sim.run(until=0.1)
+        assert h.core.stats.blocks_issued >= 1
+
+
+class TestProcessingModel:
+    def test_proc_time_delays_release(self):
+        h = Harness(proc_time=1e-3)
+        h.submit(pkt(), 0)
+        h.submit(pkt(), 1)
+        h.sim.run(until=0.01)
+        # two copies served sequentially: release at ~2ms
+        assert h.core.stats.released == 1
+        assert h.sim.now >= 2e-3
+
+    def test_queue_bound_drops_copies(self):
+        h = Harness(proc_time=1e-3, service_queue_capacity=2, buffer_timeout=1.0)
+        for i in range(10):
+            h.submit(pkt(ident=i), 0)
+        h.sim.run(until=0.001)
+        assert h.core.stats.queue_drops == 8
+
+    def test_cleanup_runs_when_cache_full(self):
+        h = Harness(cache_capacity=4, buffer_timeout=100.0)
+        for i in range(10):
+            h.submit(pkt(ident=i), 0)
+        h.sim.run(until=0.001)
+        assert h.core.stats.cleanups >= 1
+        assert h.core.stats.evicted > 0
+
+    def test_cleanup_prefers_expired_entries(self):
+        h = Harness(cache_capacity=4, buffer_timeout=0.001)
+        for i in range(4):
+            h.submit(pkt(ident=i), 0)
+        h.sim.run(until=0.002)
+
+        def late():
+            for i in range(4, 6):
+                h.submit(pkt(ident=i), 0)
+
+        h.sim.schedule(0.001, late)
+        h.sim.run(until=0.01)
+        # old entries were expired, not force-evicted
+        assert h.core.stats.evicted == 0
+
+    def test_cleanup_stall_time_accounted(self):
+        h = Harness(cache_capacity=2, buffer_timeout=100.0, cleanup_duration=5e-4)
+        for i in range(6):
+            h.submit(pkt(ident=i), 0)
+        h.sim.run(until=0.01)
+        assert h.core.stats.cleanup_stall_time >= 5e-4
+
+    def test_sweeper_stops_when_idle(self):
+        h = Harness()
+        h.submit(pkt(), 0)
+        h.sim.run()  # runs to completion only if the sweeper stops itself
+        assert h.core.stats.expired_unreleased == 1

@@ -1,0 +1,196 @@
+"""Tests for the duplex link model: delay, serialisation, queueing, loss."""
+
+import pytest
+
+from repro.net import IpAddress, Link, MacAddress, Packet
+from repro.net.node import Node, Port
+from repro.sim import RngStreams, Simulator, TraceBus
+
+M1, M2 = MacAddress.from_index(1), MacAddress.from_index(2)
+IP1, IP2 = IpAddress("10.0.0.1"), IpAddress("10.0.0.2")
+
+
+class Sink(Node):
+    """Records (time, packet) arrivals."""
+
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.arrivals = []
+        self.add_port(1)
+
+    def receive(self, packet, in_port):
+        self.arrivals.append((self.sim.now, packet))
+
+
+def make_pair(sim, **link_kwargs):
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    link = Link(sim, a.port(1), b.port(1), rng_streams=RngStreams(1), **link_kwargs)
+    return a, b, link
+
+
+def packet(size=100):
+    pad = max(0, size - 42)
+    return Packet.udp(M1, M2, IP1, IP2, 1, 2, payload=b"\x00" * pad)
+
+
+class TestDelivery:
+    def test_infinite_rate_zero_delay_delivers_immediately(self):
+        sim = Simulator()
+        a, b, _link = make_pair(sim)
+        a.port(1).send(packet())
+        sim.run()
+        assert len(b.arrivals) == 1
+        assert b.arrivals[0][0] == 0.0
+
+    def test_propagation_delay(self):
+        sim = Simulator()
+        a, b, _ = make_pair(sim, delay=1e-3)
+        a.port(1).send(packet())
+        sim.run()
+        assert b.arrivals[0][0] == pytest.approx(1e-3)
+
+    def test_serialisation_time(self):
+        sim = Simulator()
+        a, b, _ = make_pair(sim, rate_bps=1e6)  # 1 Mbit/s
+        pkt = packet(size=125)  # 1000 bits -> 1 ms
+        a.port(1).send(pkt)
+        sim.run()
+        assert b.arrivals[0][0] == pytest.approx(pkt.wire_len * 8 / 1e6)
+
+    def test_back_to_back_packets_serialise_sequentially(self):
+        sim = Simulator()
+        a, b, _ = make_pair(sim, rate_bps=1e6)
+        pkt = packet(size=125)
+        ser = pkt.wire_len * 8 / 1e6
+        a.port(1).send(pkt)
+        a.port(1).send(packet(size=125))
+        sim.run()
+        times = [t for t, _ in b.arrivals]
+        assert times == pytest.approx([ser, 2 * ser])
+
+    def test_duplex_directions_are_independent(self):
+        sim = Simulator()
+        a, b, _ = make_pair(sim, rate_bps=1e6)
+        a.port(1).send(packet(size=125))
+        b.port(1).send(packet(size=125))
+        sim.run()
+        # both arrive at the single-direction serialisation time
+        assert a.arrivals[0][0] == pytest.approx(b.arrivals[0][0])
+
+    def test_bidirectional_delivery(self):
+        sim = Simulator()
+        a, b, _ = make_pair(sim)
+        b.port(1).send(packet())
+        sim.run()
+        assert len(a.arrivals) == 1
+
+
+class TestQueueing:
+    def test_queue_overflow_drops(self):
+        sim = Simulator()
+        a, b, link = make_pair(sim, rate_bps=1e6, queue_capacity=3)
+        for _ in range(10):
+            a.port(1).send(packet(size=125))
+        sim.run()
+        assert len(b.arrivals) == 3
+        stats = link.direction_stats(a.port(1))
+        assert stats.queue_drops == 7
+        assert stats.delivered_packets == 3
+
+    def test_queue_drains_over_time(self):
+        sim = Simulator()
+        a, b, _ = make_pair(sim, rate_bps=1e6, queue_capacity=2)
+        pkt = packet(size=125)
+        ser = pkt.wire_len * 8 / 1e6
+        a.port(1).send(packet(size=125))
+        sim.schedule(ser * 1.5, lambda: a.port(1).send(packet(size=125)))
+        sim.run()
+        assert len(b.arrivals) == 2
+
+    def test_invalid_queue_capacity(self):
+        sim = Simulator()
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        with pytest.raises(ValueError):
+            Link(sim, a.port(1), b.port(1), queue_capacity=0)
+
+
+class TestLoss:
+    def test_zero_loss_delivers_everything(self):
+        sim = Simulator()
+        a, b, _ = make_pair(sim, loss=0.0)
+        for _ in range(50):
+            a.port(1).send(packet())
+        sim.run()
+        assert len(b.arrivals) == 50
+
+    def test_loss_rate_is_approximate(self):
+        sim = Simulator()
+        a, b, link = make_pair(sim, loss=0.3, queue_capacity=4000)
+        for _ in range(2000):
+            a.port(1).send(packet())
+        sim.run()
+        delivered = len(b.arrivals)
+        assert 1200 < delivered < 1600  # ~70% of 2000
+        assert link.direction_stats(a.port(1)).loss_drops == 2000 - delivered
+
+    def test_loss_is_reproducible_across_runs(self):
+        def run_once():
+            sim = Simulator()
+            a, b, _ = make_pair(sim, loss=0.5)
+            for _ in range(100):
+                a.port(1).send(packet())
+            sim.run()
+            return len(b.arrivals)
+
+        assert run_once() == run_once()
+
+    def test_invalid_loss_rejected(self):
+        sim = Simulator()
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        with pytest.raises(ValueError):
+            Link(sim, a.port(1), b.port(1), loss=1.0)
+
+
+class TestWiring:
+    def test_peer_of(self):
+        sim = Simulator()
+        a, b, link = make_pair(sim)
+        assert link.peer_of(a.port(1)) is b.port(1)
+        assert link.peer_of(b.port(1)) is a.port(1)
+
+    def test_peer_of_foreign_port_rejected(self):
+        sim = Simulator()
+        a, b, link = make_pair(sim)
+        c = Sink(sim, "c")
+        with pytest.raises(ValueError):
+            link.peer_of(c.port(1))
+
+    def test_stats_counters(self):
+        sim = Simulator()
+        a, b, link = make_pair(sim)
+        pkt = packet()
+        a.port(1).send(pkt)
+        sim.run()
+        stats = link.direction_stats(a.port(1))
+        assert stats.tx_packets == 1
+        assert stats.tx_bytes == pkt.wire_len
+        assert stats.delivered_bytes == pkt.wire_len
+
+    def test_drop_trace_emitted(self):
+        sim = Simulator()
+        bus = TraceBus()
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        Link(
+            sim, a.port(1), b.port(1), rate_bps=1e3, queue_capacity=1,
+            trace_bus=bus, rng_streams=RngStreams(1),
+        )
+        a.port(1).send(packet())
+        a.port(1).send(packet())
+        sim.run()
+        assert bus.count("link.drop") == 1
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        with pytest.raises(ValueError):
+            Link(sim, a.port(1), b.port(1), delay=-1.0)

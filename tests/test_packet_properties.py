@@ -1,0 +1,125 @@
+"""Property-based tests for the packet layer (hypothesis).
+
+These guard the invariants the compare element relies on: serialisation
+is deterministic and injective enough (parse∘serialise = identity), and
+copies are bit-identical until mutated.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net import (
+    IpAddress,
+    MacAddress,
+    Packet,
+    TCP_ACK,
+    TCP_FIN,
+    TCP_PSH,
+    TCP_SYN,
+    Vlan,
+    internet_checksum,
+)
+
+macs = st.integers(min_value=0, max_value=(1 << 48) - 1).map(MacAddress)
+ips = st.integers(min_value=0, max_value=(1 << 32) - 1).map(IpAddress)
+ports = st.integers(min_value=0, max_value=65535)
+payloads = st.binary(max_size=256)
+idents = st.integers(min_value=0, max_value=0xFFFF)
+
+
+@st.composite
+def udp_packets(draw):
+    vlan = draw(st.one_of(st.none(), st.integers(0, 4095).map(Vlan)))
+    return Packet.udp(
+        draw(macs), draw(macs), draw(ips), draw(ips),
+        draw(ports), draw(ports), payload=draw(payloads),
+        ident=draw(idents), vlan=vlan,
+    )
+
+
+@st.composite
+def tcp_packets(draw):
+    flags = draw(
+        st.sets(st.sampled_from([TCP_SYN, TCP_ACK, TCP_FIN, TCP_PSH])).map(
+            lambda s: sum(s)
+        )
+    )
+    return Packet.tcp(
+        draw(macs), draw(macs), draw(ips), draw(ips),
+        draw(ports), draw(ports),
+        seq=draw(st.integers(0, (1 << 32) - 1)),
+        ack=draw(st.integers(0, (1 << 32) - 1)),
+        flags=flags,
+        window=draw(st.integers(0, 65535)),
+        payload=draw(payloads),
+        ident=draw(idents),
+    )
+
+
+@st.composite
+def icmp_packets(draw):
+    return Packet.icmp_echo(
+        draw(macs), draw(macs), draw(ips), draw(ips),
+        ident=draw(idents), seqno=draw(idents),
+        reply=draw(st.booleans()), payload=draw(payloads),
+        ip_ident=draw(idents),
+    )
+
+
+any_packet = st.one_of(udp_packets(), tcp_packets(), icmp_packets())
+
+
+@given(any_packet)
+@settings(max_examples=120)
+def test_parse_roundtrip(packet):
+    assert Packet.parse(packet.to_bytes()) == packet
+
+
+@given(any_packet)
+@settings(max_examples=120)
+def test_wire_len_equals_serialised_length(packet):
+    assert packet.wire_len == len(packet.to_bytes())
+
+
+@given(any_packet)
+@settings(max_examples=80)
+def test_serialisation_is_deterministic(packet):
+    assert packet.to_bytes() == packet.to_bytes()
+
+
+@given(any_packet)
+@settings(max_examples=80)
+def test_copy_is_bit_identical(packet):
+    assert packet.copy().to_bytes() == packet.to_bytes()
+
+
+@given(any_packet)
+@settings(max_examples=80)
+def test_ip_header_checksum_valid_on_wire(packet):
+    raw = packet.to_bytes()
+    offset = 14 + (4 if packet.vlan is not None else 0)
+    assert internet_checksum(raw[offset : offset + 20]) == 0
+
+
+@given(udp_packets(), st.integers(0, 255), st.integers(0, 5000))
+@settings(max_examples=80)
+def test_payload_mutation_changes_bytes(packet, xor, pos):
+    if not packet.payload:
+        return
+    mutated = packet.copy()
+    idx = pos % len(mutated.payload)
+    flipped = bytearray(mutated.payload)
+    flipped[idx] ^= xor
+    mutated.payload = bytes(flipped)
+    if xor == 0:
+        assert mutated == packet
+    else:
+        assert mutated != packet
+
+
+@given(st.binary(max_size=64))
+@settings(max_examples=60)
+def test_checksum_self_verifies(data):
+    checksum = internet_checksum(data)
+    if len(data) % 2:
+        data += b"\x00"
+    assert internet_checksum(data + checksum.to_bytes(2, "big")) == 0

@@ -1,0 +1,182 @@
+"""Tests for the PCAP writer and the operator health monitor."""
+
+import io
+
+import pytest
+
+from repro.analysis.monitor import HealthMonitor
+from repro.core.alarms import (
+    ALARM_DOS_SUSPECTED,
+    ALARM_SINGLE_SOURCE_PACKET,
+    AlarmSink,
+)
+from repro.net import Network, Packet
+from repro.net.pcap import PCAP_MAGIC, PcapWriter, read_pcap
+
+
+class TestPcap:
+    def make_frames(self, count=3):
+        net = Network(seed=71)
+        h1 = net.add_host("h1")
+        h2 = net.add_host("h2")
+        return net, h1, h2, [
+            Packet.udp(h1.mac, h2.mac, h1.ip, h2.ip, 1, 5001,
+                       payload=bytes([i]) * 10, ident=i)
+            for i in range(count)
+        ]
+
+    def test_write_and_read_roundtrip(self):
+        net, h1, h2, frames = self.make_frames()
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        for i, frame in enumerate(frames):
+            writer.write(frame, timestamp=1.5 + i * 0.25)
+        writer.close()
+        buffer.seek(0)
+        restored = read_pcap(buffer)
+        assert len(restored) == 3
+        assert [t for t, _p in restored] == pytest.approx([1.5, 1.75, 2.0])
+        assert [p for _t, p in restored] == frames
+
+    def test_global_header_magic(self):
+        buffer = io.BytesIO()
+        PcapWriter(buffer).close()
+        assert int.from_bytes(buffer.getvalue()[:4], "little") == PCAP_MAGIC
+
+    def test_snaplen_truncates(self):
+        net, h1, h2, _ = self.make_frames()
+        big = Packet.udp(h1.mac, h2.mac, h1.ip, h2.ip, 1, 2, payload=b"x" * 500)
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer, snaplen=60)
+        writer.write(big, 0.0)
+        writer.close()
+        # record header says incl_len=60, orig_len=full
+        record = buffer.getvalue()[24:40]
+        incl = int.from_bytes(record[8:12], "little")
+        orig = int.from_bytes(record[12:16], "little")
+        assert incl == 60 and orig == big.wire_len
+
+    def test_attach_captures_port_traffic(self, tmp_path):
+        net = Network(seed=72)
+        h1 = net.add_host("h1")
+        h2 = net.add_host("h2")
+        net.connect(h1, h2)
+        path = tmp_path / "run.pcap"
+        with PcapWriter(str(path)) as writer:
+            writer.attach(h2.port(1))
+            h2.bind_udp(5001, lambda p: None)
+            for i in range(5):
+                net.sim.schedule(
+                    i * 1e-3,
+                    lambda i=i: h1.send(
+                        Packet.udp(h1.mac, h2.mac, h1.ip, h2.ip, 1, 5001, ident=i)
+                    ),
+                )
+            net.run()
+            assert writer.frames_written == 5
+        frames = read_pcap(str(path))
+        assert len(frames) == 5
+        times = [t for t, _p in frames]
+        assert times == sorted(times)
+
+    def test_write_after_close_rejected(self):
+        writer = PcapWriter(io.BytesIO())
+        writer.close()
+        net, h1, h2, frames = self.make_frames(1)
+        with pytest.raises(ValueError):
+            writer.write(frames[0], 0.0)
+
+    def test_read_rejects_garbage(self):
+        with pytest.raises(Exception):
+            read_pcap(io.BytesIO(b"\x00" * 64))
+
+
+class TestHealthMonitor:
+    def test_no_alarms_is_healthy(self):
+        monitor = HealthMonitor()
+        monitor.watch(AlarmSink())
+        assert monitor.refresh() == 0
+        assert monitor.suspects() == []
+        assert "healthy" in monitor.summary()
+
+    def test_branch_attribution_and_severity(self):
+        sink = AlarmSink()
+        monitor = HealthMonitor()
+        monitor.watch(sink)
+        sink.raise_alarm(1.0, ALARM_SINGLE_SOURCE_PACKET, "cmp", branch=2)
+        sink.raise_alarm(1.5, ALARM_DOS_SUSPECTED, "cmp", branch=0)
+        assert monitor.refresh() == 2
+        assert monitor.suspects() == [0, 2]  # critical first
+        assert monitor.branch(0).worst_severity == "critical"
+        assert monitor.branch(2).worst_severity == "warning"
+        assert monitor.branch(1).worst_severity == "healthy"
+
+    def test_incremental_refresh(self):
+        sink = AlarmSink()
+        monitor = HealthMonitor()
+        monitor.watch(sink)
+        sink.raise_alarm(1.0, ALARM_SINGLE_SOURCE_PACKET, "cmp", branch=1)
+        assert monitor.refresh() == 1
+        assert monitor.refresh() == 0
+        sink.raise_alarm(2.0, ALARM_SINGLE_SOURCE_PACKET, "cmp", branch=1)
+        assert monitor.refresh() == 1
+        assert monitor.branch(1).alarms == 2
+
+    def test_detection_latency(self):
+        sink = AlarmSink()
+        monitor = HealthMonitor()
+        monitor.watch(sink)
+        sink.raise_alarm(0.5, ALARM_SINGLE_SOURCE_PACKET, "cmp", branch=0)
+        sink.raise_alarm(2.0, ALARM_SINGLE_SOURCE_PACKET, "cmp", branch=1)
+        monitor.refresh()
+        # compromise began at t=1.0: the t=0.5 alarm predates it
+        assert monitor.detection_latency(1.0) == pytest.approx(1.0)
+        assert monitor.detection_latency(5.0) is None
+
+    def test_multiple_sinks(self):
+        a, b = AlarmSink(), AlarmSink()
+        monitor = HealthMonitor()
+        monitor.watch(a)
+        monitor.watch(b)
+        a.raise_alarm(1.0, ALARM_SINGLE_SOURCE_PACKET, "x", branch=0)
+        b.raise_alarm(1.0, ALARM_DOS_SUSPECTED, "y", branch=0)
+        assert monitor.refresh() == 2
+        assert monitor.branch(0).alarms == 2
+
+    def test_summary_lists_kinds(self):
+        sink = AlarmSink()
+        monitor = HealthMonitor()
+        monitor.watch(sink)
+        for _ in range(3):
+            sink.raise_alarm(1.0, ALARM_SINGLE_SOURCE_PACKET, "cmp", branch=2)
+        monitor.refresh()
+        text = monitor.summary()
+        assert "branch 2" in text and "x3" in text
+
+    def test_end_to_end_with_combiner(self):
+        from repro.adversary import PayloadCorruptionBehavior
+        from repro.core import CombinerChainParams, CompareConfig, build_combiner_chain
+        from repro.traffic.iperf import PathEndpoints, run_ping
+
+        net = Network(seed=73)
+        chain = build_combiner_chain(
+            net, "nc",
+            CombinerChainParams(k=3, compare=CompareConfig(k=3, buffer_timeout=2e-3)),
+        )
+        h1, h2 = net.add_host("h1"), net.add_host("h2")
+        net.connect(h1, chain.endpoint_a)
+        net.connect(h2, chain.endpoint_b)
+        chain.install_mac_route(h2.mac, toward="b")
+        chain.install_mac_route(h1.mac, toward="a")
+        monitor = HealthMonitor()
+        monitor.watch(chain.alarms)
+
+        net.sim.schedule(
+            0.005, lambda: PayloadCorruptionBehavior().attach(chain.router(1))
+        )
+        run_ping(PathEndpoints(net, h1, h2), count=20, interval=1e-3)
+        chain.compare_core.flush()
+        monitor.refresh()
+        assert monitor.suspects() == [1]
+        latency = monitor.detection_latency(0.005)
+        assert latency is not None and latency < 0.01

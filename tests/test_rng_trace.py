@@ -1,0 +1,109 @@
+"""Tests for seeded RNG streams and the trace bus."""
+
+from repro.sim import RngStreams, TraceBus
+
+
+class TestRngStreams:
+    def test_same_seed_same_stream_is_reproducible(self):
+        a = RngStreams(42).stream("link.loss")
+        b = RngStreams(42).stream("link.loss")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_streams_are_independent(self):
+        streams = RngStreams(42)
+        a = streams.stream("a")
+        b = streams.stream("b")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_stream_is_cached(self):
+        streams = RngStreams(1)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        s1 = RngStreams(7)
+        a_only = [s1.stream("a").random() for _ in range(5)]
+        s2 = RngStreams(7)
+        s2.stream("b").random()  # interleave a new consumer
+        a_with_b = [s2.stream("a").random() for _ in range(5)]
+        assert a_only == a_with_b
+
+    def test_different_master_seeds_differ(self):
+        a = RngStreams(1).stream("x")
+        b = RngStreams(2).stream("x")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_fork_is_deterministic_and_distinct(self):
+        base = RngStreams(3)
+        f1 = base.fork("rep1").stream("x")
+        f1_again = RngStreams(3).fork("rep1").stream("x")
+        f2 = RngStreams(3).fork("rep2").stream("x")
+        seq1 = [f1.random() for _ in range(5)]
+        assert seq1 == [f1_again.random() for _ in range(5)]
+        assert seq1 != [f2.random() for _ in range(5)]
+
+
+class TestTraceBus:
+    def test_emit_retains_records(self):
+        bus = TraceBus()
+        bus.emit(1.0, "link.drop", "link1", reason="queue")
+        assert len(bus.records) == 1
+        record = bus.records[0]
+        assert record.topic == "link.drop"
+        assert record.data["reason"] == "queue"
+
+    def test_subscribe_by_topic(self):
+        bus = TraceBus()
+        seen = []
+        bus.subscribe("alarm", seen.append)
+        bus.emit(0.0, "alarm", "compare")
+        bus.emit(0.0, "other", "x")
+        assert len(seen) == 1
+
+    def test_wildcard_subscription(self):
+        bus = TraceBus()
+        seen = []
+        bus.subscribe("", seen.append)
+        bus.emit(0.0, "a", "x")
+        bus.emit(0.0, "b", "y")
+        assert len(seen) == 2
+
+    def test_unsubscribe(self):
+        bus = TraceBus()
+        seen = []
+        bus.subscribe("t", seen.append)
+        bus.unsubscribe("t", seen.append)
+        bus.emit(0.0, "t", "x")
+        assert seen == []
+
+    def test_select_filters_topic_and_source(self):
+        bus = TraceBus()
+        bus.emit(0.0, "a", "s1")
+        bus.emit(0.0, "a", "s2")
+        bus.emit(0.0, "b", "s1")
+        assert len(bus.select(topic="a")) == 2
+        assert len(bus.select(source="s1")) == 2
+        assert len(bus.select(topic="a", source="s1")) == 1
+
+    def test_count(self):
+        bus = TraceBus()
+        for _ in range(3):
+            bus.emit(0.0, "x", "s")
+        assert bus.count("x") == 3
+        assert bus.count("y") == 0
+
+    def test_retention_bound(self):
+        bus = TraceBus(max_records=5)
+        for i in range(10):
+            bus.emit(float(i), "t", "s")
+        assert len(bus.records) == 5
+
+    def test_retention_disabled(self):
+        bus = TraceBus(retain=False)
+        bus.emit(0.0, "t", "s")
+        assert bus.records == []
+
+    def test_clear(self):
+        bus = TraceBus()
+        bus.emit(0.0, "t", "s")
+        bus.clear()
+        assert bus.records == []

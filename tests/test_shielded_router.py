@@ -1,0 +1,123 @@
+"""Tests for the n-port shielded router (Figure 2 deployment unit)."""
+
+import pytest
+
+from repro.adversary import (
+    BlackholeBehavior,
+    HeaderRewriteBehavior,
+    MirrorAndDropBehavior,
+    PayloadCorruptionBehavior,
+    dst_mac_rewrite,
+    match_dst_mac,
+    match_none,
+)
+from repro.core import (
+    ALARM_SINGLE_SOURCE_PACKET,
+    CompareConfig,
+    ShieldedRouterParams,
+    build_shielded_router,
+)
+from repro.net import Network, NetworkError, Packet
+from repro.traffic.iperf import PathEndpoints, run_ping
+
+
+def build_rig(k=3):
+    """Three hosts hang off the shielded router, as off a 3-port switch."""
+    net = Network(seed=4)
+    shield = build_shielded_router(
+        net,
+        "sr",
+        params=ShieldedRouterParams(
+            k=k, compare=CompareConfig(k=k, buffer_timeout=2e-3)
+        ),
+    )
+    hosts = [net.add_host(f"h{i}") for i in (1, 2, 3)]
+    ports = {h.name: shield.attach_neighbor(h) for h in hosts}
+    for h in hosts:
+        shield.install_mac_route(h.mac, ports[h.name])
+    return net, shield, hosts, ports
+
+
+class TestBenign:
+    def test_any_pair_can_ping(self):
+        net, shield, (h1, h2, h3), _ = build_rig()
+        for src, dst in [(h1, h2), (h2, h3), (h3, h1)]:
+            result = run_ping(PathEndpoints(net, src, dst), count=3, interval=1e-3)
+            assert result.received == 3
+
+    def test_replicas_route_and_compare_votes(self):
+        net, shield, (h1, h2, _h3), _ = build_rig()
+        run_ping(PathEndpoints(net, h1, h2), count=2, interval=1e-3)
+        stats = shield.compare_core.stats
+        assert stats.submissions == 12  # 2 req + 2 rep, 3 replicas each
+        assert stats.released == 4
+
+    def test_no_duplicate_deliveries(self):
+        net, shield, (h1, h2, _h3), _ = build_rig()
+        result = run_ping(PathEndpoints(net, h1, h2), count=5, interval=1e-3)
+        assert result.duplicates == 0
+
+    def test_k1_degenerate_still_works(self):
+        net, shield, (h1, h2, _h3), _ = build_rig(k=1)
+        result = run_ping(PathEndpoints(net, h1, h2), count=3, interval=1e-3)
+        assert result.received == 3
+
+
+class TestAttacks:
+    def test_rerouting_replica_is_outvoted(self):
+        # replica 0 claims the wrong egress: vote (bytes, claim) fails
+        # for its copy, the two honest claims win
+        net, shield, (h1, h2, h3), ports = build_rig()
+        HeaderRewriteBehavior(dst_mac_rewrite(h3.mac)).attach(shield.replica(0))
+        result = run_ping(PathEndpoints(net, h1, h2), count=5, interval=1e-3)
+        assert result.received == 5
+        assert h3.rx_foreign == 0  # nothing leaked toward h3
+
+    def test_mirror_and_drop_is_fully_masked(self):
+        net, shield, (h1, h2, h3), ports = build_rig()
+        replica = shield.replica(2)
+        mirror_port = shield._replica_port_for_claim[ports["h3"]][2]
+        MirrorAndDropBehavior(
+            mirror_port=mirror_port,
+            mirror_selector=match_dst_mac(h2.mac),
+            drop_selector=match_dst_mac(h1.mac),
+        ).attach(replica)
+        result = run_ping(PathEndpoints(net, h1, h2), count=5, interval=1e-3)
+        assert result.received == 5  # drops masked by 2-of-3
+        assert h3.rx_foreign == 0  # mirror copies never exit
+        shield.compare_core.flush()
+        assert shield.compare_core.alarms.count(ALARM_SINGLE_SOURCE_PACKET) >= 5
+
+    def test_corruption_masked(self):
+        net, shield, (h1, h2, _h3), _ = build_rig()
+        PayloadCorruptionBehavior().attach(shield.replica(1))
+        result = run_ping(PathEndpoints(net, h1, h2), count=5, interval=1e-3)
+        assert result.received == 5
+
+    def test_blackhole_masked(self):
+        net, shield, (h1, h2, _h3), _ = build_rig()
+        BlackholeBehavior().attach(shield.replica(0))
+        result = run_ping(PathEndpoints(net, h1, h2), count=5, interval=1e-3)
+        assert result.received == 5
+
+
+class TestWiring:
+    def test_route_to_unattached_port_rejected(self):
+        net, shield, (h1, _h2, _h3), _ = build_rig()
+        with pytest.raises(NetworkError):
+            shield.install_mac_route(h1.mac, 9999)
+
+    def test_external_port_lookup(self):
+        net, shield, (h1, _h2, _h3), ports = build_rig()
+        assert shield.external_port_of("h1") == ports["h1"]
+
+    def test_k_zero_rejected(self):
+        net = Network()
+        with pytest.raises(NetworkError):
+            build_shielded_router(net, "x", params=ShieldedRouterParams(k=0))
+
+    def test_replica_has_one_port_per_external(self):
+        net, shield, hosts, _ = build_rig()
+        # 3 externals -> each replica has 3 links to the endpoint
+        for replica in shield.replicas:
+            assert len(replica.ports) == 3

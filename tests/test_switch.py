@@ -1,0 +1,379 @@
+"""Tests for the OpenFlow switch datapath and control channel."""
+
+import pytest
+
+from repro.net import MacAddress, Network, Packet
+from repro.openflow import (
+    Controller,
+    FLOWMOD_ADD,
+    FLOWMOD_DELETE,
+    FLOWMOD_DELETE_STRICT,
+    FlowMod,
+    FlowStatsRequest,
+    Match,
+    OpenFlowSwitch,
+    Output,
+    PacketOut,
+    PortStatsRequest,
+    SetVlanVid,
+    flood,
+    to_controller,
+)
+from repro.sim import CpuResource
+
+
+def three_hosts_one_switch(proc_time=0.0, **switch_kwargs):
+    net = Network(seed=1)
+    s1 = OpenFlowSwitch(
+        net.sim, "s1", trace_bus=net.trace, proc_time=proc_time, **switch_kwargs
+    )
+    net.add_node(s1)
+    hosts = [net.add_host(f"h{i}") for i in (1, 2, 3)]
+    for host in hosts:
+        net.connect(host, s1)
+    return net, s1, hosts
+
+
+def udp_between(a, b, dport=5001):
+    return Packet.udp(a.mac, b.mac, a.ip, b.ip, 1, dport, payload=b"x")
+
+
+class TestForwarding:
+    def test_install_and_forward(self):
+        net, s1, (h1, h2, h3) = three_hosts_one_switch()
+        s1.install(Match(dl_dst=h2.mac), [Output(net.port_no_between("s1", "h2"))])
+        got = []
+        h2.bind_udp(5001, got.append)
+        h1.send(udp_between(h1, h2))
+        net.run()
+        assert len(got) == 1
+        assert s1.stats.forwarded == 1
+
+    def test_no_match_without_controller_drops(self):
+        net, s1, (h1, h2, _) = three_hosts_one_switch()
+        got = []
+        h2.bind_udp(5001, got.append)
+        h1.send(udp_between(h1, h2))
+        net.run()
+        assert got == []
+        assert s1.stats.dropped_no_match == 1
+
+    def test_empty_action_list_drops(self):
+        net, s1, (h1, h2, _) = three_hosts_one_switch()
+        s1.install(Match(dl_dst=h2.mac), [])
+        h1.send(udp_between(h1, h2))
+        net.run()
+        assert s1.stats.dropped_no_actions == 1
+
+    def test_flood_excludes_ingress(self):
+        net, s1, (h1, h2, h3) = three_hosts_one_switch()
+        s1.install(Match.wildcard(), [flood()])
+        h2_got, h3_got, h1_got = [], [], []
+        h1.bind_raw(h1_got.append)
+        h2.bind_raw(h2_got.append)
+        h3.bind_raw(h3_got.append)
+        h2.promiscuous = h3.promiscuous = h1.promiscuous = True
+        h1.send(udp_between(h1, h2))
+        net.run()
+        assert len(h2_got) == 1 and len(h3_got) == 1 and len(h1_got) == 0
+
+    def test_modify_then_output(self):
+        net, s1, (h1, h2, _) = three_hosts_one_switch()
+        s1.install(
+            Match(dl_dst=h2.mac),
+            [SetVlanVid(42), Output(net.port_no_between("s1", "h2"))],
+        )
+        got = []
+        h2.bind_udp(5001, got.append)
+        h1.send(udp_between(h1, h2))
+        net.run()
+        assert got[0].vlan.vid == 42
+
+    def test_output_before_modify_sends_unmodified(self):
+        net, s1, (h1, h2, _) = three_hosts_one_switch()
+        s1.install(
+            Match(dl_dst=h2.mac),
+            [Output(net.port_no_between("s1", "h2")), SetVlanVid(42)],
+        )
+        got = []
+        h2.bind_udp(5001, got.append)
+        h1.send(udp_between(h1, h2))
+        net.run()
+        assert got[0].vlan is None
+
+    def test_actions_do_not_mutate_original(self):
+        net, s1, (h1, h2, _) = three_hosts_one_switch()
+        s1.install(
+            Match(dl_dst=h2.mac),
+            [SetVlanVid(42), Output(net.port_no_between("s1", "h2"))],
+        )
+        original = udp_between(h1, h2)
+        h2.bind_udp(5001, lambda p: None)
+        h1.send(original)
+        net.run()
+        assert original.vlan is None
+
+    def test_bad_port_output_drops(self):
+        net, s1, (h1, h2, _) = three_hosts_one_switch()
+        s1.install(Match(dl_dst=h2.mac), [Output(99)])
+        h1.send(udp_between(h1, h2))
+        net.run()  # no crash; trace records the drop
+        assert net.trace.count("switch.drop") == 1
+
+
+class TestServiceModel:
+    def test_proc_time_delays_forwarding(self):
+        net, s1, (h1, h2, _) = three_hosts_one_switch(proc_time=1e-3)
+        s1.install(Match(dl_dst=h2.mac), [Output(net.port_no_between("s1", "h2"))])
+        times = []
+        h2.bind_udp(5001, lambda p: times.append(net.sim.now))
+        h1.send(udp_between(h1, h2))
+        net.run()
+        assert times[0] == pytest.approx(1e-3)
+
+    def test_service_is_single_server(self):
+        net, s1, (h1, h2, _) = three_hosts_one_switch(proc_time=1e-3)
+        s1.install(Match(dl_dst=h2.mac), [Output(net.port_no_between("s1", "h2"))])
+        times = []
+        h2.bind_udp(5001, lambda p: times.append(net.sim.now))
+        for _ in range(3):
+            h1.send(udp_between(h1, h2))
+        net.run()
+        assert times == pytest.approx([1e-3, 2e-3, 3e-3])
+
+    def test_per_byte_cost(self):
+        net, s1, (h1, h2, _) = three_hosts_one_switch(
+            proc_time=0.0, proc_per_byte=1e-6
+        )
+        s1.install(Match(dl_dst=h2.mac), [Output(net.port_no_between("s1", "h2"))])
+        times = []
+        h2.bind_udp(5001, lambda p: times.append(net.sim.now))
+        pkt = udp_between(h1, h2)
+        h1.send(pkt)
+        net.run()
+        assert times[0] == pytest.approx(pkt.wire_len * 1e-6)
+
+    def test_service_queue_overflow_drops(self):
+        net, s1, (h1, h2, _) = three_hosts_one_switch(
+            proc_time=1e-3, service_queue_capacity=2
+        )
+        s1.install(Match(dl_dst=h2.mac), [Output(net.port_no_between("s1", "h2"))])
+        got = []
+        h2.bind_udp(5001, got.append)
+        for _ in range(5):
+            h1.send(udp_between(h1, h2))
+        net.run()
+        assert len(got) == 2
+        assert s1.stats.dropped_service_queue == 3
+
+    def test_shared_cpu_serialises_two_switches(self):
+        net = Network(seed=1)
+        cpu = CpuResource("shared")
+        s1 = OpenFlowSwitch(net.sim, "s1", proc_time=1e-3, cpu=cpu)
+        s2 = OpenFlowSwitch(net.sim, "s2", proc_time=1e-3, cpu=cpu)
+        net.add_node(s1)
+        net.add_node(s2)
+        h1, h2, h3, h4 = (net.add_host(f"h{i}") for i in range(1, 5))
+        net.connect(h1, s1)
+        net.connect(s1, h2)
+        net.connect(h3, s2)
+        net.connect(s2, h4)
+        s1.install(Match(dl_dst=h2.mac), [Output(net.port_no_between("s1", "h2"))])
+        s2.install(Match(dl_dst=h4.mac), [Output(net.port_no_between("s2", "h4"))])
+        times = []
+        h2.bind_udp(5001, lambda p: times.append(("s1", net.sim.now)))
+        h4.bind_udp(5001, lambda p: times.append(("s2", net.sim.now)))
+        h1.send(udp_between(h1, h2))
+        h3.send(udp_between(h3, h4))
+        net.run()
+        # the second packet waits for the shared CPU
+        assert sorted(t for _, t in times) == pytest.approx([1e-3, 2e-3])
+
+
+class RecordingController(Controller):
+    def __init__(self, sim, **kwargs):
+        super().__init__(sim, **kwargs)
+        self.packet_ins = []
+        self.flow_removed = []
+        self.port_stats = []
+        self.flow_stats = []
+
+    def on_packet_in(self, switch, event):
+        self.packet_ins.append(event)
+
+    def on_flow_removed(self, switch, event):
+        self.flow_removed.append(event)
+
+    def on_port_stats(self, switch, reply):
+        self.port_stats.append(reply)
+
+    def on_flow_stats(self, switch, reply):
+        self.flow_stats.append(reply)
+
+
+class TestControlChannel:
+    def test_table_miss_sends_packet_in(self):
+        net, s1, (h1, h2, _) = three_hosts_one_switch()
+        ctl = RecordingController(net.sim)
+        s1.connect_controller(ctl)
+        h1.send(udp_between(h1, h2))
+        net.run()
+        assert len(ctl.packet_ins) == 1
+        event = ctl.packet_ins[0]
+        assert event.in_port == net.port_no_between("s1", "h1")
+        assert event.buffer_id is not None
+
+    def test_channel_latency_applies_both_ways(self):
+        net, s1, (h1, h2, _) = three_hosts_one_switch()
+        ctl = RecordingController(net.sim)
+        s1.connect_controller(ctl, latency=1e-3)
+        got = []
+        h2.bind_udp(5001, got.append)
+
+        out_port = net.port_no_between("s1", "h2")
+        original_handler = ctl.on_packet_in
+
+        def reactive(switch, event):
+            original_handler(switch, event)
+            ctl.send_packet_out(
+                switch, PacketOut(packet=event.packet, actions=[Output(out_port)])
+            )
+
+        ctl.on_packet_in = reactive
+        h1.send(udp_between(h1, h2))
+        net.run()
+        assert len(got) == 1
+        assert net.sim.now >= 2e-3
+
+    def test_packet_out_with_buffer_id(self):
+        net, s1, (h1, h2, _) = three_hosts_one_switch()
+        ctl = RecordingController(net.sim)
+        s1.connect_controller(ctl)
+        h1.send(udp_between(h1, h2))
+        net.run()
+        event = ctl.packet_ins[0]
+        got = []
+        h2.bind_udp(5001, got.append)
+        ctl.send_packet_out(
+            s1,
+            PacketOut(
+                packet=None,
+                actions=[Output(net.port_no_between("s1", "h2"))],
+                buffer_id=event.buffer_id,
+            ),
+        )
+        net.run()
+        assert len(got) == 1
+
+    def test_flow_mod_add_and_delete(self):
+        net, s1, (h1, h2, _) = three_hosts_one_switch()
+        ctl = RecordingController(net.sim)
+        s1.connect_controller(ctl)
+        match = Match(dl_dst=h2.mac)
+        ctl.send_flow_mod(
+            s1, FlowMod(FLOWMOD_ADD, match, [Output(2)], priority=5)
+        )
+        net.run()
+        assert len(s1.table) == 1
+        ctl.send_flow_mod(s1, FlowMod(FLOWMOD_DELETE, match))
+        net.run()
+        assert len(s1.table) == 0
+        assert len(ctl.flow_removed) == 1
+
+    def test_flow_mod_delete_strict(self):
+        net, s1, _hosts = three_hosts_one_switch()
+        ctl = RecordingController(net.sim)
+        s1.connect_controller(ctl)
+        match = Match.wildcard()
+        ctl.send_flow_mod(s1, FlowMod(FLOWMOD_ADD, match, [Output(1)], priority=1))
+        ctl.send_flow_mod(s1, FlowMod(FLOWMOD_ADD, match, [Output(1)], priority=2))
+        ctl.send_flow_mod(s1, FlowMod(FLOWMOD_DELETE_STRICT, match, priority=2))
+        net.run()
+        assert len(s1.table) == 1
+        assert s1.table.entries[0].priority == 1
+
+    def test_idle_timeout_triggers_flow_removed(self):
+        net, s1, (h1, h2, _) = three_hosts_one_switch()
+        ctl = RecordingController(net.sim)
+        s1.connect_controller(ctl)
+        s1.install(
+            Match(dl_dst=h2.mac),
+            [Output(net.port_no_between("s1", "h2"))],
+            idle_timeout=0.01,
+        )
+        # traffic long after the timeout forces a sweep
+        net.sim.schedule(0.1, lambda: h1.send(udp_between(h1, h2)))
+        net.run()
+        assert len(ctl.flow_removed) == 1
+        assert ctl.flow_removed[0].reason == "idle"
+
+    def test_output_to_controller_action(self):
+        net, s1, (h1, h2, _) = three_hosts_one_switch()
+        ctl = RecordingController(net.sim)
+        s1.connect_controller(ctl)
+        s1.install(Match(dl_dst=h2.mac), [to_controller()])
+        h1.send(udp_between(h1, h2))
+        net.run()
+        assert len(ctl.packet_ins) == 1
+        assert ctl.packet_ins[0].reason == "action"
+
+    def test_port_stats_request(self):
+        net, s1, (h1, h2, _) = three_hosts_one_switch()
+        ctl = RecordingController(net.sim)
+        s1.connect_controller(ctl)
+        s1.install(Match(dl_dst=h2.mac), [Output(net.port_no_between("s1", "h2"))])
+        h1.send(udp_between(h1, h2))
+        net.run()
+        ctl.send(s1, PortStatsRequest(s1.datapath_id))
+        net.run()
+        reply = ctl.port_stats[0]
+        rx = {s.port_no: s.rx_packets for s in reply.stats}
+        assert rx[net.port_no_between("s1", "h1")] == 1
+
+    def test_flow_stats_request(self):
+        net, s1, (h1, h2, _) = three_hosts_one_switch()
+        ctl = RecordingController(net.sim)
+        s1.connect_controller(ctl)
+        s1.install(Match(dl_dst=h2.mac), [Output(net.port_no_between("s1", "h2"))])
+        h1.send(udp_between(h1, h2))
+        net.run()
+        ctl.send(s1, FlowStatsRequest(s1.datapath_id))
+        net.run()
+        assert ctl.flow_stats[0].stats[0].packet_count == 1
+
+    def test_controller_proc_time_queues_messages(self):
+        net, s1, (h1, h2, _) = three_hosts_one_switch()
+        ctl = RecordingController(net.sim, proc_time=1e-3)
+        s1.connect_controller(ctl)
+        arrival_times = []
+        inner = ctl.on_packet_in
+
+        def timed(switch, event):
+            arrival_times.append(net.sim.now)
+            inner(switch, event)
+
+        ctl.on_packet_in = timed
+        for i in range(3):
+            h1.send(
+                Packet.udp(h1.mac, h2.mac, h1.ip, h2.ip, 1, 5001,
+                           ident=h1.next_ip_ident())
+            )
+        net.run()
+        assert arrival_times == pytest.approx([1e-3, 2e-3, 3e-3])
+
+
+class TestPortBlocking:
+    def test_block_port_drops_ingress(self):
+        net, s1, (h1, h2, _) = three_hosts_one_switch()
+        s1.install(Match(dl_dst=h2.mac), [Output(net.port_no_between("s1", "h2"))])
+        got = []
+        h2.bind_udp(5001, got.append)
+        s1.block_port(net.port_no_between("s1", "h1"), duration=1.0)
+        h1.send(udp_between(h1, h2))
+        net.run(until=0.5)
+        assert got == []
+
+    def test_datapath_ids_unique(self):
+        net, s1, _ = three_hosts_one_switch()
+        s2 = OpenFlowSwitch(net.sim, "sx")
+        assert s1.datapath_id != s2.datapath_id

@@ -1,0 +1,113 @@
+"""Tests for traceroute over legacy router chains (and through NetCo)."""
+
+import pytest
+
+from repro.net import IpAddress, MacAddress, Network, Packet
+from repro.net.legacy import LegacyRouter
+from repro.traffic.traceroute import run_traceroute
+
+
+def legacy_chain(n_routers=3, seed=25):
+    """h1 - r1 - r2 - ... - rN - h2, one subnet per link."""
+    net = Network(seed=seed)
+    h1 = net.add_host("h1", ip=IpAddress("10.0.0.10"))
+    h2 = net.add_host("h2", ip=IpAddress("10.99.0.10"))
+    routers = []
+    for i in range(n_routers):
+        router = LegacyRouter(
+            net.sim, f"r{i+1}", MacAddress.from_index(100 + i),
+            IpAddress(f"10.{i + 1}.0.1"), trace_bus=net.trace,
+        )
+        net.add_node(router)
+        routers.append(router)
+    net.connect(h1, routers[0])
+    for a, b in zip(routers, routers[1:]):
+        net.connect(a, b)
+    net.connect(routers[-1], h2)
+    # forward routes to h2's subnet, reverse to h1's
+    for i, router in enumerate(routers):
+        nxt = routers[i + 1].mac if i + 1 < n_routers else h2.mac
+        nxt_name = routers[i + 1].name if i + 1 < n_routers else "h2"
+        router.add_route(IpAddress("10.99.0.0"), 16,
+                         net.port_no_between(router.name, nxt_name), nxt)
+        prev = routers[i - 1].mac if i > 0 else h1.mac
+        prev_name = routers[i - 1].name if i > 0 else "h1"
+        router.add_route(IpAddress("10.0.0.0"), 16,
+                         net.port_no_between(router.name, prev_name), prev)
+    return net, h1, h2, routers
+
+
+class TestTraceroute:
+    def test_discovers_every_hop_in_order(self):
+        net, h1, h2, routers = legacy_chain(3)
+        result = run_traceroute(net, h1, routers[0].mac, h2.ip)
+        assert result.reached
+        assert result.addresses() == [
+            "10.1.0.1", "10.2.0.1", "10.3.0.1", "10.99.0.10",
+        ]
+
+    def test_rtts_increase_with_depth(self):
+        net, h1, h2, routers = legacy_chain(3, seed=26)
+        # make hops visible in time: add per-router processing
+        for router in routers:
+            router.proc_time = 50e-6
+        result = run_traceroute(net, h1, routers[0].mac, h2.ip)
+        rtts = [hop.rtt_s for hop in result.hops]
+        assert all(r is not None for r in rtts)
+        assert rtts == sorted(rtts)
+
+    def test_single_hop(self):
+        net, h1, h2, routers = legacy_chain(1)
+        result = run_traceroute(net, h1, routers[0].mac, h2.ip)
+        assert result.reached
+        assert len(result.hops) == 2
+
+    def test_unreachable_destination_gives_stars(self):
+        net, h1, h2, routers = legacy_chain(2)
+        result = run_traceroute(
+            net, h1, routers[0].mac, IpAddress("10.99.0.99"), max_hops=4
+        )
+        assert not result.reached
+        # hops 1-2 answer with time-exceeded; beyond them: silence
+        assert result.addresses()[:2] == ["10.1.0.1", "10.2.0.1"]
+        assert result.addresses()[2:] == [None, None]
+
+    def test_max_hops_caps_probing(self):
+        net, h1, h2, routers = legacy_chain(3)
+        result = run_traceroute(
+            net, h1, routers[0].mac, IpAddress("10.99.0.99"), max_hops=2
+        )
+        assert len(result.hops) == 2
+        assert not result.reached
+
+    def test_probe_host_still_answers_pings(self):
+        net, h1, h2, routers = legacy_chain(2)
+        run_traceroute(net, h1, routers[0].mac, h2.ip)
+        # after close(), h1's default responder is restored
+        replies = []
+        h2.bind_icmp(replies.append)
+        h2.send(Packet.icmp_echo(h2.mac, routers[-1].mac, h2.ip, h1.ip, 5, 1))
+        net.run(until=net.sim.now + 0.01)
+        assert len(replies) == 1
+
+
+class TestTracerouteThroughCombiner:
+    def test_combiner_is_invisible_to_traceroute(self):
+        """The OpenFlow combiner operates at L2: a traceroute through it
+        sees only the destination — NetCo adds no IP hops."""
+        from repro.core import CombinerChainParams, CompareConfig, build_combiner_chain
+
+        net = Network(seed=27)
+        chain = build_combiner_chain(
+            net, "nc",
+            CombinerChainParams(k=3, compare=CompareConfig(k=3, buffer_timeout=2e-3)),
+        )
+        h1 = net.add_host("h1")
+        h2 = net.add_host("h2")
+        net.connect(h1, chain.endpoint_a)
+        net.connect(h2, chain.endpoint_b)
+        chain.install_mac_route(h2.mac, toward="b")
+        chain.install_mac_route(h1.mac, toward="a")
+        result = run_traceroute(net, h1, h2.mac, h2.ip)
+        assert result.reached
+        assert result.addresses() == [str(h2.ip)]

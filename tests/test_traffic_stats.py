@@ -1,0 +1,99 @@
+"""Tests for measurement primitives (stats, jitter, throughput)."""
+
+import pytest
+
+from repro.traffic.stats import JitterEstimator, SummaryStats, ThroughputMeter, mbits
+
+
+class TestSummaryStats:
+    def test_empty_is_all_zero(self):
+        stats = SummaryStats()
+        assert stats.mean == 0.0 and stats.stdev == 0.0
+        assert stats.percentile(50) == 0.0
+
+    def test_mean_min_max(self):
+        stats = SummaryStats()
+        for v in (1.0, 2.0, 3.0):
+            stats.add(v)
+        assert stats.mean == 2.0
+        assert stats.minimum == 1.0 and stats.maximum == 3.0
+        assert stats.count == 3
+
+    def test_stdev(self):
+        stats = SummaryStats()
+        for v in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            stats.add(v)
+        assert stats.stdev == pytest.approx(2.138, abs=0.01)
+
+    def test_stdev_single_sample_zero(self):
+        stats = SummaryStats()
+        stats.add(5.0)
+        assert stats.stdev == 0.0
+
+    def test_percentiles_interpolate(self):
+        stats = SummaryStats()
+        for v in (10.0, 20.0, 30.0, 40.0):
+            stats.add(v)
+        assert stats.percentile(0) == 10.0
+        assert stats.percentile(100) == 40.0
+        assert stats.percentile(50) == 25.0
+
+    def test_percentile_single_sample(self):
+        stats = SummaryStats()
+        stats.add(7.0)
+        assert stats.percentile(99) == 7.0
+
+    def test_as_dict(self):
+        stats = SummaryStats()
+        stats.add(1.0)
+        d = stats.as_dict()
+        assert d["count"] == 1 and "p99" in d
+
+
+class TestJitterEstimator:
+    def test_constant_transit_time_zero_jitter(self):
+        jitter = JitterEstimator()
+        for i in range(20):
+            jitter.observe(send_time=i * 0.01, recv_time=i * 0.01 + 0.005)
+        assert jitter.jitter < 1e-12  # only float rounding noise
+
+    def test_varying_transit_accumulates(self):
+        jitter = JitterEstimator()
+        jitter.observe(0.00, 0.005)
+        jitter.observe(0.01, 0.016)  # transit +1ms
+        assert jitter.jitter == pytest.approx(0.001 / 16)
+
+    def test_converges_toward_mean_abs_delta(self):
+        jitter = JitterEstimator()
+        # transit alternates by 1 ms every packet
+        for i in range(500):
+            transit = 0.005 + (0.001 if i % 2 else 0.0)
+            jitter.observe(i * 0.01, i * 0.01 + transit)
+        assert 0.0005 < jitter.jitter < 0.0011
+
+    def test_sample_count(self):
+        jitter = JitterEstimator()
+        jitter.observe(0.0, 0.1)
+        jitter.observe(1.0, 1.1)
+        jitter.observe(2.0, 2.1)
+        assert jitter.samples == 2  # first observation only primes
+
+
+class TestThroughputMeter:
+    def test_mbps_over_window(self):
+        meter = ThroughputMeter()
+        meter.observe(125_000, now=0.5)  # 1 Mbit
+        assert meter.mbps(window=1.0) == pytest.approx(1.0)
+
+    def test_mbps_first_to_last(self):
+        meter = ThroughputMeter()
+        meter.observe(125_000, now=1.0)
+        meter.observe(125_000, now=3.0)
+        assert meter.mbps() == pytest.approx(1.0)
+
+    def test_empty_meter(self):
+        assert ThroughputMeter().mbps() == 0.0
+
+    def test_mbits_helper(self):
+        assert mbits(125_000, 1.0) == pytest.approx(1.0)
+        assert mbits(1, 0.0) == 0.0

@@ -1,0 +1,160 @@
+"""Tests for the virtualized NetCo (Section VII)."""
+
+import pytest
+
+from repro.adversary import (
+    BlackholeBehavior,
+    HeaderRewriteBehavior,
+    PayloadCorruptionBehavior,
+    ReplayFloodBehavior,
+    vlan_rewrite,
+)
+from repro.core import ALARM_ROUTER_UNAVAILABLE, ALARM_SINGLE_SOURCE_PACKET
+from repro.net import NetworkError, Packet
+from repro.scenarios.virtualized import build_virtualized_scenario
+from repro.traffic.iperf import PathEndpoints, run_ping, run_udp_flow
+
+
+class TestProvisioning:
+    def test_paths_are_node_disjoint(self):
+        scenario = build_virtualized_scenario(k=3)
+        paths = scenario.combiner.paths
+        assert len(paths) == 3
+        interiors = [set(p[1:-1]) for p in paths]
+        assert not (interiors[0] & interiors[1])
+        assert not (interiors[0] & interiors[2])
+
+    def test_vlan_rules_installed_on_transits(self):
+        scenario = build_virtualized_scenario(k=3)
+        for i, transit in enumerate(scenario.transits):
+            vids = [e.match.dl_vlan for e in transit.table]
+            assert scenario.combiner.vids[i] in vids
+
+    def test_insufficient_paths_rejected(self):
+        with pytest.raises((NetworkError, ValueError)):
+            build_virtualized_scenario(k=4, paths_available=3)
+
+    def test_unprotected_traffic_not_split(self):
+        scenario = build_virtualized_scenario(k=3)
+        # dst -> src is unprotected; ingress pipeline handles it normally
+        net, src, dst = scenario.network, scenario.src, scenario.dst
+        got = []
+        src.bind_udp(7, got.append)
+        dst.send(Packet.udp(dst.mac, src.mac, dst.ip, src.ip, 1, 7))
+        net.run()
+        assert len(got) == 1
+        assert scenario.ingress.split_packets == 0
+
+
+class TestBenignFlow:
+    def test_ping_through_tunnels(self):
+        scenario = build_virtualized_scenario(k=3)
+        result = run_ping(
+            PathEndpoints(scenario.network, scenario.src, scenario.dst),
+            count=5, interval=1e-3,
+        )
+        assert result.received == 5
+        assert result.duplicates == 0
+        assert scenario.ingress.split_packets == 5
+        assert scenario.egress.recombined == 5
+
+    def test_udp_through_tunnels_no_duplicates(self):
+        scenario = build_virtualized_scenario(k=3)
+        result = run_udp_flow(
+            PathEndpoints(scenario.network, scenario.src, scenario.dst),
+            rate_bps=10e6, duration=0.02,
+        )
+        assert result.loss_rate == 0.0
+        assert result.duplicates == 0
+
+    def test_k2_benign_flow(self):
+        scenario = build_virtualized_scenario(k=2)
+        result = run_ping(
+            PathEndpoints(scenario.network, scenario.src, scenario.dst),
+            count=5, interval=1e-3,
+        )
+        assert result.received == 5
+
+    def test_copies_arrive_tagged_per_path(self):
+        scenario = build_virtualized_scenario(k=3)
+        seen_vids = []
+        for transit in scenario.transits:
+            for port in transit.ports.values():
+                port.taps.append(
+                    lambda p, t=transit: seen_vids.append(
+                        (t.name, p.vlan.vid if p.vlan else None)
+                    )
+                )
+        run_ping(
+            PathEndpoints(scenario.network, scenario.src, scenario.dst),
+            count=1, interval=1e-3,
+        )
+        tagged = {(name, vid) for name, vid in seen_vids if vid is not None}
+        assert len({vid for _name, vid in tagged}) == 3
+
+
+class TestAttacksPrevention:
+    def test_k3_masks_payload_corruption(self):
+        scenario = build_virtualized_scenario(k=3)
+        PayloadCorruptionBehavior().attach(scenario.transit(1))
+        result = run_ping(
+            PathEndpoints(scenario.network, scenario.src, scenario.dst),
+            count=10, interval=1e-3,
+        )
+        assert result.received == 10
+
+    def test_k3_masks_blackhole_with_alarm(self):
+        # transit 0 also carries the unprotected reverse path, so attack
+        # transit 2, which only carries protected copies
+        scenario = build_virtualized_scenario(k=3)
+        BlackholeBehavior().attach(scenario.transit(2))
+        result = run_ping(
+            PathEndpoints(scenario.network, scenario.src, scenario.dst),
+            count=12, interval=1e-3,
+        )
+        assert result.received == 12
+        scenario.compare_core.flush()
+        assert scenario.compare_core.alarms.count(ALARM_ROUTER_UNAVAILABLE) >= 1
+
+    def test_k3_masks_tunnel_label_rewrite(self):
+        # a transit moving its copy into another tunnel's VLAN produces a
+        # duplicate vote on that branch, not a majority
+        scenario = build_virtualized_scenario(k=3)
+        victim_vid = scenario.combiner.vids[0]
+        HeaderRewriteBehavior(vlan_rewrite(victim_vid)).attach(scenario.transit(1))
+        result = run_ping(
+            PathEndpoints(scenario.network, scenario.src, scenario.dst),
+            count=5, interval=1e-3,
+        )
+        assert result.received == 5
+
+
+class TestAttacksDetection:
+    def test_k2_detects_corruption_by_stalling(self):
+        scenario = build_virtualized_scenario(k=2)
+        PayloadCorruptionBehavior().attach(scenario.transit(0))
+        result = run_ping(
+            PathEndpoints(scenario.network, scenario.src, scenario.dst),
+            count=5, interval=1e-3,
+        )
+        assert result.received == 0
+        scenario.compare_core.flush()
+        assert scenario.compare_core.alarms.count(ALARM_SINGLE_SOURCE_PACKET) > 0
+
+    def test_k2_detects_blackhole(self):
+        scenario = build_virtualized_scenario(k=2)
+        BlackholeBehavior().attach(scenario.transit(1))
+        result = run_ping(
+            PathEndpoints(scenario.network, scenario.src, scenario.dst),
+            count=5, interval=1e-3,
+        )
+        assert result.received == 0
+
+    def test_replay_flood_detected(self):
+        scenario = build_virtualized_scenario(k=3)
+        ReplayFloodBehavior(amplification=20).attach(scenario.transit(0))
+        run_udp_flow(
+            PathEndpoints(scenario.network, scenario.src, scenario.dst),
+            rate_bps=5e6, duration=0.02,
+        )
+        assert scenario.compare_core.stats.branch_duplicates > 0
