@@ -1,0 +1,32 @@
+"""Farm determinism benchmark: sharded Figure 7 vs the serial runner.
+
+Times the sharded execution path (2 worker processes) and pins the
+subsystem's core guarantee: the parallel merge is bit-identical to the
+serial record, because results are keyed by spec content hash rather
+than completion order.
+"""
+
+from conftest import emit
+
+from repro.analysis import render_record, run_fig7_rtt
+from repro.farm import FarmExecutor
+
+SCENARIOS = ("linespeed", "dup3", "central3")
+KWARGS = dict(scenarios=SCENARIOS, count=20, sequences=2, seed=1)
+
+
+def test_farm_parallel_fig7_matches_serial(benchmark):
+    parallel = benchmark.pedantic(
+        lambda: run_fig7_rtt(farm=FarmExecutor(jobs=2), **KWARGS),
+        rounds=1,
+        iterations=1,
+    )
+    serial = run_fig7_rtt(**KWARGS)
+    emit(render_record(parallel))
+
+    assert parallel.to_dict() == serial.to_dict()
+    farm = FarmExecutor(jobs=2)
+    rerun = run_fig7_rtt(farm=farm, **KWARGS)
+    assert rerun.to_dict() == serial.to_dict()
+    assert farm.progress.failed == 0
+    assert farm.progress.done == farm.progress.queued

@@ -6,22 +6,27 @@ for the paper's five data-plane scenarios and prints them next to the
 paper's numbers.  Absolute values depend on the calibrated testbed; the
 *shape* — who wins, by roughly what factor — is the reproduction target.
 
-Run:  python examples/performance_tradeoff.py          (about a minute)
-      python examples/performance_tradeoff.py --quick  (rougher, faster)
+Run:  python examples/performance_tradeoff.py           (about a minute)
+      python examples/performance_tradeoff.py --quick   (rougher, faster)
+      python examples/performance_tradeoff.py --jobs 4  (sharded over 4
+          worker processes; the merged result is bit-identical to serial)
 """
 
 import sys
 
 from repro.analysis import paper_table1_values, render_table1, run_table1
+from repro.farm import FarmExecutor
 
 
 def main() -> None:
     quick = "--quick" in sys.argv
+    jobs = int(sys.argv[sys.argv.index("--jobs") + 1]) if "--jobs" in sys.argv else 1
     kwargs = dict(duration_tcp=0.06, duration_udp=0.04, ping_count=20,
                   repetitions=1) if quick else {}
     print("measuring the five scenarios"
-          + (" (quick mode)" if quick else "") + " ...\n")
-    values = run_table1(**kwargs)
+          + (" (quick mode)" if quick else "")
+          + (f" on {jobs} workers" if jobs > 1 else "") + " ...\n")
+    values = run_table1(farm=FarmExecutor(jobs=jobs), **kwargs)
     print(render_table1(values, paper=paper_table1_values()))
     print()
 

@@ -6,7 +6,14 @@ pytest.  Useful for quick exploration and for recording results:
     python -m repro table1
     python -m repro fig6 --quick
     python -m repro casestudy
-    python -m repro all
+    python -m repro all --jobs 4
+
+Figure/table experiments run on the experiment farm (:mod:`repro.farm`):
+``--jobs N`` shards their independent simulations over N worker
+processes, and results are cached on disk under ``.repro-cache/`` keyed
+by content hash (``--no-cache`` disables, ``--cache-dir`` relocates).
+Parallel runs merge by spec key, so ``--jobs 4`` output is identical to
+``--jobs 1``.
 """
 
 from __future__ import annotations
@@ -14,9 +21,14 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
-from repro.analysis.report import render_record, render_series, render_table1
+from repro.analysis.report import (
+    render_farm_summary,
+    render_record,
+    render_series,
+    render_table1,
+)
 from repro.analysis.runners import (
     paper_table1_values,
     run_fig4_tcp,
@@ -26,53 +38,56 @@ from repro.analysis.runners import (
     run_fig8_jitter,
     run_table1,
 )
+from repro.farm import FarmExecutor, FarmTaskError, ResultCache
 
 
-def _cmd_table1(quick: bool) -> None:
+def _cmd_table1(quick: bool, farm: Optional[FarmExecutor]) -> None:
     kwargs = dict(duration_tcp=0.06, duration_udp=0.04, ping_count=20,
                   repetitions=1) if quick else {}
-    print(render_table1(run_table1(**kwargs), paper=paper_table1_values()))
+    print(render_table1(run_table1(farm=farm, **kwargs),
+                        paper=paper_table1_values()))
 
 
-def _cmd_fig4(quick: bool) -> None:
+def _cmd_fig4(quick: bool, farm: Optional[FarmExecutor]) -> None:
     record = run_fig4_tcp(duration=0.06 if quick else 0.15,
-                          repetitions=1 if quick else 2)
+                          repetitions=1 if quick else 2, farm=farm)
     print(render_record(record))
 
 
-def _cmd_fig5(quick: bool) -> None:
+def _cmd_fig5(quick: bool, farm: Optional[FarmExecutor]) -> None:
     record = run_fig5_udp(duration=0.04 if quick else 0.08,
-                          iterations=6 if quick else 8)
+                          iterations=6 if quick else 8, farm=farm)
     print(render_record(record))
 
 
-def _cmd_fig6(quick: bool) -> None:
+def _cmd_fig6(quick: bool, farm: Optional[FarmExecutor]) -> None:
     offered = (60, 180, 230, 270, 350) if quick else (
         60, 120, 180, 210, 230, 250, 270, 300, 350)
     points = run_fig6_loss_correlation(offered_mbps=offered,
-                                       duration=0.04 if quick else 0.08)
+                                       duration=0.04 if quick else 0.08,
+                                       farm=farm)
     print(render_series("Figure 6: Central3 goodput", "offered Mbit/s",
                         "goodput Mbit/s", [(o, round(g, 1)) for o, g, _ in points]))
     print(render_series("Figure 6: Central3 loss", "offered Mbit/s",
                         "loss rate", [(o, round(l, 4)) for o, _, l in points]))
 
 
-def _cmd_fig7(quick: bool) -> None:
+def _cmd_fig7(quick: bool, farm: Optional[FarmExecutor]) -> None:
     record = run_fig7_rtt(count=20 if quick else 50,
-                          sequences=1 if quick else 3)
+                          sequences=1 if quick else 3, farm=farm)
     print(render_record(record))
 
 
-def _cmd_fig8(quick: bool) -> None:
+def _cmd_fig8(quick: bool, farm: Optional[FarmExecutor]) -> None:
     sizes = (128, 512, 1470) if quick else (128, 256, 512, 1024, 1470)
     series = run_fig8_jitter(payload_sizes=sizes,
-                             repetitions=1 if quick else 2)
+                             repetitions=1 if quick else 2, farm=farm)
     for scenario, points in series.items():
         print(render_series(f"Figure 8 — {scenario}", "payload B",
                             "jitter ms", [(s, round(j, 5)) for s, j in points]))
 
 
-def _cmd_casestudy(quick: bool) -> None:
+def _cmd_casestudy(quick: bool, farm: Optional[FarmExecutor]) -> None:
     from repro.analysis.report import format_table
     from repro.scenarios.datacenter import DatacenterCaseStudy
 
@@ -90,7 +105,7 @@ def _cmd_casestudy(quick: bool) -> None:
     print(format_table(["scenario", "sent", "req@fw1", "resp@vm1", "strays"], rows))
 
 
-def _cmd_virtualized(quick: bool) -> None:
+def _cmd_virtualized(quick: bool, farm: Optional[FarmExecutor]) -> None:
     from repro.adversary import PayloadCorruptionBehavior
     from repro.scenarios.virtualized import build_virtualized_scenario
     from repro.traffic.iperf import PathEndpoints, run_ping
@@ -109,7 +124,7 @@ def _cmd_virtualized(quick: bool) -> None:
               f"{scenario.compare_core.alarms.count()} alarms -> {verdict}")
 
 
-COMMANDS: Dict[str, Callable[[bool], None]] = {
+COMMANDS: Dict[str, Callable[[bool, Optional[FarmExecutor]], None]] = {
     "table1": _cmd_table1,
     "fig4": _cmd_fig4,
     "fig5": _cmd_fig5,
@@ -135,12 +150,43 @@ def main(argv=None) -> int:
         "--quick", action="store_true",
         help="shorter durations / fewer repetitions",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="shard independent simulations over N worker processes "
+             "(default 1: inline, no subprocesses)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=".repro-cache", metavar="DIR",
+        help="result-cache location (default .repro-cache/)",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task wall-clock timeout on the farm",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(COMMANDS) if args.experiment == "all" else [args.experiment]
     for name in names:
+        farm = FarmExecutor(
+            jobs=args.jobs,
+            cache=None if args.no_cache else ResultCache(root=args.cache_dir),
+            timeout=args.task_timeout,
+        )
         start = time.time()
-        COMMANDS[name](args.quick)
+        try:
+            COMMANDS[name](args.quick, farm)
+        except FarmTaskError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            if farm.progress.queued:
+                print(render_farm_summary(farm.progress, cache=farm.cache),
+                      file=sys.stderr)
+            return 1
+        if farm.progress.queued:
+            print(render_farm_summary(farm.progress, cache=farm.cache))
         print(f"[{name} finished in {time.time() - start:.1f}s]\n")
     return 0
 

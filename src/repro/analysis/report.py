@@ -85,3 +85,34 @@ def render_series(
     """Render a figure's data series as a two-column table."""
     rows = [[f"{x:g}", f"{y:g}"] for x, y in points]
     return f"== {title} ==\n" + format_table([x_label, y_label], rows)
+
+
+def render_farm_summary(progress, cache=None) -> str:
+    """One-table summary of a farm run (tasks, wall time, cache).
+
+    ``progress`` is a :class:`repro.farm.progress.FarmProgress`;
+    ``cache`` an optional :class:`repro.farm.cache.ResultCache`.
+    """
+    snap = progress.snapshot()
+    headers = ["tasks", "cached", "executed", "failed", "retried",
+               "task wall", "elapsed"]
+    row = [
+        str(snap["queued"]),
+        str(snap["cache_hits"]),
+        str(snap["executed"]),
+        str(snap["failed"]),
+        str(snap["retried"]),
+        f"{snap['task_wall_s']:.2f}s",
+        f"{snap['elapsed_s']:.2f}s",
+    ]
+    text = "[farm] " + ", ".join(
+        f"{h}={v}" for h, v in zip(headers, row)
+    )
+    if cache is not None and cache.enabled:
+        rate = cache.hit_rate
+        text += (
+            f"\n[farm] cache {cache.root}: {cache.hits} hit(s), "
+            f"{cache.misses} miss(es)"
+            + (f" ({100 * rate:.0f}% hits)" if rate is not None else "")
+        )
+    return text

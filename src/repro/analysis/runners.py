@@ -4,50 +4,86 @@ Shared between the benchmark suite (``benchmarks/``) and the examples so
 the exact workloads that regenerate each result live in one place.
 Durations are scaled down from the paper's 10-second iperf runs to keep
 the suite fast; throughput is a rate, so the scaling preserves shape.
+
+Every runner decomposes into three pieces so the experiment farm
+(:mod:`repro.farm`) can shard it across processes:
+
+* ``specs_*`` builds the list of :class:`~repro.farm.spec.RunSpec`
+  work items (each one an independent simulation, see
+  :mod:`repro.analysis.tasks`);
+* the farm executes them (inline when ``jobs=1``, sharded otherwise)
+  and returns results keyed by spec content hash;
+* ``merge_*`` folds the keyed results back into the figure's record.
+
+The merge is pure and driven by the (deterministic) spec list, never by
+completion order, so a parallel run is bit-identical to a serial one.
+Calling ``run_*`` without a farm executes inline with no caching —
+exactly the historical serial behaviour.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.analysis.records import ExperimentRecord, paper_value
-from repro.scenarios.testbed import Testbed, TestbedParams, build_testbed
-from repro.traffic.iperf import (
-    PathEndpoints,
-    find_max_udp_rate,
-    run_ping,
-    run_tcp_flow,
-    run_udp_flow,
-)
+from repro.analysis.tasks import params_to_dict
+from repro.farm.executor import FarmExecutor
+from repro.farm.spec import RunSpec
+from repro.scenarios.testbed import TestbedParams
 
 TABLE1_SCENARIOS = ("linespeed", "dup3", "dup5", "central3", "central5")
 ALL_SCENARIOS = ("linespeed", "dup3", "dup5", "central3", "central5", "pox3")
 
+#: ``{spec.key: task value}`` as returned by :meth:`FarmExecutor.run`
+FarmResults = Dict[str, Any]
 
-def _fresh_path(variant: str, seed: int, params: Optional[TestbedParams]) -> PathEndpoints:
-    return build_testbed(variant, params=params, seed=seed).path()
+
+def _run(farm: Optional[FarmExecutor], specs: List[RunSpec]) -> FarmResults:
+    """Execute specs on the given farm, or inline with no cache."""
+    return (farm if farm is not None else FarmExecutor()).run(specs)
+
+
+def _by_variant(specs: List[RunSpec], results: FarmResults) -> Dict[str, List[Any]]:
+    """Group task values by scenario, in spec order (never completion
+    order) — the heart of the deterministic merge."""
+    grouped: Dict[str, List[Any]] = {}
+    for spec in specs:
+        grouped.setdefault(spec.kwargs["variant"], []).append(results[spec.key])
+    return grouped
 
 
 # ----------------------------------------------------------------------
 # Figure 4: TCP throughput
 # ----------------------------------------------------------------------
-def run_fig4_tcp(
-    scenarios: Tuple[str, ...] = ALL_SCENARIOS,
-    duration: float = 0.15,
-    repetitions: int = 2,
-    seed: int = 1,
-    params: Optional[TestbedParams] = None,
-) -> ExperimentRecord:
-    """TCP bulk throughput per scenario, alternating directions as the
-    paper's 10-forward + 10-reverse design does."""
+def specs_fig4(
+    scenarios: Tuple[str, ...],
+    duration: float,
+    repetitions: int,
+    seed: int,
+    params: Optional[TestbedParams],
+) -> List[RunSpec]:
+    pd = params_to_dict(params)
+    return [
+        RunSpec(
+            "fig4.tcp",
+            {
+                "variant": variant,
+                "duration": duration,
+                # alternate directions as the paper's 10+10 design does
+                "reverse": bool(rep % 2),
+                "params": pd,
+            },
+            seed=seed + rep,
+        )
+        for variant in scenarios
+        for rep in range(repetitions)
+    ]
+
+
+def merge_fig4(specs: List[RunSpec], results: FarmResults) -> ExperimentRecord:
     record = ExperimentRecord("Figure 4", "TCP throughput")
-    for variant in scenarios:
-        samples = []
-        for rep in range(repetitions):
-            testbed = build_testbed(variant, params=params, seed=seed + rep)
-            path = testbed.path(reverse=bool(rep % 2))
-            samples.append(run_tcp_flow(path, duration=duration).throughput_mbps)
+    for variant, samples in _by_variant(specs, results).items():
         record.add(
             variant,
             "tcp_mbps",
@@ -58,81 +94,142 @@ def run_fig4_tcp(
     return record
 
 
+def run_fig4_tcp(
+    scenarios: Tuple[str, ...] = ALL_SCENARIOS,
+    duration: float = 0.15,
+    repetitions: int = 2,
+    seed: int = 1,
+    params: Optional[TestbedParams] = None,
+    farm: Optional[FarmExecutor] = None,
+) -> ExperimentRecord:
+    """TCP bulk throughput per scenario, alternating directions as the
+    paper's 10-forward + 10-reverse design does."""
+    specs = specs_fig4(scenarios, duration, repetitions, seed, params)
+    return merge_fig4(specs, _run(farm, specs))
+
+
 # ----------------------------------------------------------------------
 # Figure 5: max UDP throughput at < 0.5% loss
 # ----------------------------------------------------------------------
+def specs_fig5(
+    scenarios: Tuple[str, ...],
+    duration: float,
+    iterations: int,
+    seed: int,
+    params: Optional[TestbedParams],
+) -> List[RunSpec]:
+    pd = params_to_dict(params)
+    return [
+        RunSpec(
+            "fig5.udp_max",
+            {
+                "variant": variant,
+                "duration": duration,
+                "iterations": iterations,
+                "params": pd,
+            },
+            seed=seed,
+        )
+        for variant in scenarios
+    ]
+
+
+def merge_fig5(specs: List[RunSpec], results: FarmResults) -> ExperimentRecord:
+    record = ExperimentRecord("Figure 5", "max UDP throughput at loss < 0.5%")
+    for variant, (sample,) in _by_variant(specs, results).items():
+        record.add(
+            variant,
+            "udp_mbps",
+            sample["mbps"],
+            "Mbit/s",
+            paper_value=paper_value(variant, "udp_mbps"),
+            loss_rate=sample["loss_rate"],
+        )
+    return record
+
+
 def run_fig5_udp(
     scenarios: Tuple[str, ...] = ALL_SCENARIOS,
     duration: float = 0.08,
     iterations: int = 8,
     seed: int = 1,
     params: Optional[TestbedParams] = None,
+    farm: Optional[FarmExecutor] = None,
 ) -> ExperimentRecord:
     """The paper's 'adjust -b until a maximum is reached' UDP search."""
-    record = ExperimentRecord(
-        "Figure 5", "max UDP throughput at loss < 0.5%"
-    )
-    base_params = params or TestbedParams()
-    for variant in scenarios:
-        _rate, result = find_max_udp_rate(
-            lambda v=variant: _fresh_path(v, seed, params),
-            duration=duration,
-            iterations=iterations,
-            send_cost=base_params.udp_send_cost,
-        )
-        record.add(
-            variant,
-            "udp_mbps",
-            result.throughput_mbps,
-            "Mbit/s",
-            paper_value=paper_value(variant, "udp_mbps"),
-            loss_rate=result.loss_rate,
-        )
-    return record
+    specs = specs_fig5(scenarios, duration, iterations, seed, params)
+    return merge_fig5(specs, _run(farm, specs))
 
 
 # ----------------------------------------------------------------------
 # Figure 6: throughput vs loss rate (Central3)
 # ----------------------------------------------------------------------
+def specs_fig6(
+    offered_mbps: Tuple[float, ...],
+    duration: float,
+    seed: int,
+    params: Optional[TestbedParams],
+) -> List[RunSpec]:
+    pd = params_to_dict(params)
+    return [
+        RunSpec(
+            "fig6.udp_point",
+            {
+                "variant": "central3",
+                "rate_mbps": rate,
+                "duration": duration,
+                "params": pd,
+            },
+            seed=seed,
+        )
+        for rate in offered_mbps
+    ]
+
+
+def merge_fig6(
+    specs: List[RunSpec], results: FarmResults
+) -> List[Tuple[float, float, float]]:
+    return [tuple(results[spec.key]) for spec in specs]
+
+
 def run_fig6_loss_correlation(
     offered_mbps: Tuple[float, ...] = (60, 120, 180, 210, 230, 250, 270, 300, 350),
     duration: float = 0.08,
     seed: int = 1,
     params: Optional[TestbedParams] = None,
+    farm: Optional[FarmExecutor] = None,
 ) -> List[Tuple[float, float, float]]:
     """Sweep offered UDP rate in Central3; return (offered, goodput,
     loss_rate) triples."""
-    base_params = params or TestbedParams()
-    points = []
-    for rate in offered_mbps:
-        result = run_udp_flow(
-            _fresh_path("central3", seed, params),
-            rate_bps=rate * 1e6,
-            duration=duration,
-            send_cost=base_params.udp_send_cost,
-        )
-        points.append((rate, result.throughput_mbps, result.loss_rate))
-    return points
+    specs = specs_fig6(offered_mbps, duration, seed, params)
+    return merge_fig6(specs, _run(farm, specs))
 
 
 # ----------------------------------------------------------------------
 # Figure 7: ping RTT
 # ----------------------------------------------------------------------
-def run_fig7_rtt(
-    scenarios: Tuple[str, ...] = TABLE1_SCENARIOS,
-    count: int = 50,
-    sequences: int = 3,
-    seed: int = 1,
-    params: Optional[TestbedParams] = None,
-) -> ExperimentRecord:
-    """Three sequences of 50 echo cycles per scenario (paper Figure 7)."""
+def specs_fig7(
+    scenarios: Tuple[str, ...],
+    count: int,
+    sequences: int,
+    seed: int,
+    params: Optional[TestbedParams],
+) -> List[RunSpec]:
+    pd = params_to_dict(params)
+    return [
+        RunSpec(
+            "fig7.rtt",
+            {"variant": variant, "count": count, "params": pd},
+            seed=seed + rep,
+        )
+        for variant in scenarios
+        for rep in range(sequences)
+    ]
+
+
+def merge_fig7(specs: List[RunSpec], results: FarmResults) -> ExperimentRecord:
     record = ExperimentRecord("Figure 7", "ping round-trip time")
-    for variant in scenarios:
-        samples = []
-        for rep in range(sequences):
-            testbed = build_testbed(variant, params=params, seed=seed + rep)
-            result = run_ping(testbed.path(), count=count, interval=1e-3)
-            samples.append(result.avg_rtt_ms)
+    for variant, samples in _by_variant(specs, results).items():
         record.add(
             variant,
             "rtt_ms",
@@ -141,6 +238,19 @@ def run_fig7_rtt(
             paper_value=paper_value(variant, "rtt_ms"),
         )
     return record
+
+
+def run_fig7_rtt(
+    scenarios: Tuple[str, ...] = TABLE1_SCENARIOS,
+    count: int = 50,
+    sequences: int = 3,
+    seed: int = 1,
+    params: Optional[TestbedParams] = None,
+    farm: Optional[FarmExecutor] = None,
+) -> ExperimentRecord:
+    """Three sequences of 50 echo cycles per scenario (paper Figure 7)."""
+    specs = specs_fig7(scenarios, count, sequences, seed, params)
+    return merge_fig7(specs, _run(farm, specs))
 
 
 # ----------------------------------------------------------------------
@@ -162,6 +272,53 @@ def jitter_params(base: Optional[TestbedParams] = None) -> TestbedParams:
     )
 
 
+def specs_fig8(
+    scenarios: Tuple[str, ...],
+    payload_sizes: Tuple[int, ...],
+    rate_mbps: float,
+    duration: float,
+    repetitions: int,
+    seed: int,
+    params: Optional[TestbedParams],
+) -> List[RunSpec]:
+    tuned = params_to_dict(jitter_params(params))
+    return [
+        RunSpec(
+            "fig8.jitter",
+            {
+                "variant": variant,
+                "payload_size": size,
+                "rate_mbps": rate_mbps,
+                "duration": duration,
+                "params": tuned,
+            },
+            seed=seed + rep,
+        )
+        for variant in scenarios
+        for size in payload_sizes
+        for rep in range(repetitions)
+    ]
+
+
+def merge_fig8(
+    specs: List[RunSpec], results: FarmResults
+) -> Dict[str, List[Tuple[int, float]]]:
+    # group (variant, size) -> samples in spec order
+    grouped: Dict[str, Dict[int, List[float]]] = {}
+    for spec in specs:
+        by_size = grouped.setdefault(spec.kwargs["variant"], {})
+        by_size.setdefault(spec.kwargs["payload_size"], []).append(
+            results[spec.key]
+        )
+    return {
+        variant: [
+            (size, sum(samples) / len(samples))
+            for size, samples in by_size.items()
+        ]
+        for variant, by_size in grouped.items()
+    }
+
+
 def run_fig8_jitter(
     scenarios: Tuple[str, ...] = TABLE1_SCENARIOS,
     payload_sizes: Tuple[int, ...] = (128, 256, 512, 1024, 1470),
@@ -170,28 +327,16 @@ def run_fig8_jitter(
     repetitions: int = 2,
     seed: int = 1,
     params: Optional[TestbedParams] = None,
+    farm: Optional[FarmExecutor] = None,
 ) -> Dict[str, List[Tuple[int, float]]]:
     """RFC 3550 jitter per (scenario, payload size) at a fixed bitrate.
 
     Returns ``{scenario: [(size, jitter_ms), ...]}``.
     """
-    tuned = jitter_params(params)
-    series: Dict[str, List[Tuple[int, float]]] = {}
-    for variant in scenarios:
-        points = []
-        for size in payload_sizes:
-            samples = []
-            for rep in range(repetitions):
-                result = run_udp_flow(
-                    build_testbed(variant, params=tuned, seed=seed + rep).path(),
-                    rate_bps=rate_mbps * 1e6,
-                    duration=duration,
-                    payload_size=size,
-                )
-                samples.append(result.jitter_ms)
-            points.append((size, sum(samples) / len(samples)))
-        series[variant] = points
-    return series
+    specs = specs_fig8(
+        scenarios, payload_sizes, rate_mbps, duration, repetitions, seed, params
+    )
+    return merge_fig8(specs, _run(farm, specs))
 
 
 # ----------------------------------------------------------------------
@@ -204,6 +349,7 @@ def run_table1(
     repetitions: int = 2,
     seed: int = 1,
     params: Optional[TestbedParams] = None,
+    farm: Optional[FarmExecutor] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Reproduce Table I; returns ``values[metric][scenario]``."""
     tcp = run_fig4_tcp(
@@ -212,13 +358,15 @@ def run_table1(
         repetitions=repetitions,
         seed=seed,
         params=params,
+        farm=farm,
     )
     udp = run_fig5_udp(
-        TABLE1_SCENARIOS, duration=duration_udp, seed=seed, params=params
+        TABLE1_SCENARIOS, duration=duration_udp, seed=seed, params=params,
+        farm=farm,
     )
     rtt = run_fig7_rtt(
         TABLE1_SCENARIOS, count=ping_count, sequences=repetitions, seed=seed,
-        params=params,
+        params=params, farm=farm,
     )
     values: Dict[str, Dict[str, float]] = {"tcp_mbps": {}, "udp_mbps": {}, "rtt_ms": {}}
     for row in tcp.rows:

@@ -1,0 +1,126 @@
+"""Atomic farm tasks: the per-sample work items behind each figure.
+
+Each function runs ONE independent simulation (one testbed build, one
+flow or ping sequence) and returns a JSON-serialisable value, so it can
+execute in a worker process and be cached on disk.  ``params`` travels
+as the ``dataclasses.asdict`` form of :class:`TestbedParams` (or
+``None`` for the calibrated defaults); the same parameter set drives
+both the topology build and per-flow costs like ``udp_send_cost``, so
+they cannot diverge.
+
+The figure runners in :mod:`repro.analysis.runners` decompose into
+lists of :class:`~repro.farm.spec.RunSpec` over these tasks plus pure
+merge functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any, Dict, List, Optional
+
+from repro.farm.spec import register_runner
+from repro.scenarios.testbed import TestbedParams, build_testbed
+from repro.traffic.iperf import (
+    find_max_udp_rate,
+    run_ping,
+    run_tcp_flow,
+    run_udp_flow,
+)
+
+
+def params_to_dict(params: Optional[TestbedParams]) -> Optional[Dict[str, Any]]:
+    """Serialisable form of testbed parameters for spec kwargs."""
+    return asdict(params) if params is not None else None
+
+
+def params_from_dict(data: Optional[Dict[str, Any]]) -> TestbedParams:
+    return TestbedParams(**data) if data else TestbedParams()
+
+
+@register_runner("fig4.tcp")
+def tcp_throughput_sample(
+    variant: str,
+    duration: float,
+    reverse: bool,
+    seed: int,
+    params: Optional[Dict[str, Any]] = None,
+) -> float:
+    """One TCP bulk-transfer run; returns throughput in Mbit/s."""
+    testbed = build_testbed(variant, params=params_from_dict(params), seed=seed)
+    path = testbed.path(reverse=reverse)
+    return run_tcp_flow(path, duration=duration).throughput_mbps
+
+
+@register_runner("fig5.udp_max")
+def udp_max_rate_search(
+    variant: str,
+    duration: float,
+    iterations: int,
+    seed: int,
+    params: Optional[Dict[str, Any]] = None,
+) -> Dict[str, float]:
+    """The paper's 'adjust -b until a maximum is reached' search for
+    one scenario; each probe uses a fresh testbed instance."""
+    base = params_from_dict(params)
+    rate, result = find_max_udp_rate(
+        lambda: build_testbed(variant, params=base, seed=seed).path(),
+        duration=duration,
+        iterations=iterations,
+        send_cost=base.udp_send_cost,
+    )
+    return {
+        "mbps": result.throughput_mbps,
+        "loss_rate": result.loss_rate,
+        "rate_bps": rate,
+    }
+
+
+@register_runner("fig6.udp_point")
+def udp_offered_point(
+    rate_mbps: float,
+    duration: float,
+    seed: int,
+    variant: str = "central3",
+    params: Optional[Dict[str, Any]] = None,
+) -> List[float]:
+    """One offered-rate point of the loss sweep:
+    ``[offered_mbps, goodput_mbps, loss_rate]``."""
+    base = params_from_dict(params)
+    result = run_udp_flow(
+        build_testbed(variant, params=base, seed=seed).path(),
+        rate_bps=rate_mbps * 1e6,
+        duration=duration,
+        send_cost=base.udp_send_cost,
+    )
+    return [rate_mbps, result.throughput_mbps, result.loss_rate]
+
+
+@register_runner("fig7.rtt")
+def rtt_sample(
+    variant: str,
+    count: int,
+    seed: int,
+    params: Optional[Dict[str, Any]] = None,
+) -> float:
+    """One sequence of ``count`` echo cycles; returns average RTT (ms)."""
+    testbed = build_testbed(variant, params=params_from_dict(params), seed=seed)
+    return run_ping(testbed.path(), count=count, interval=1e-3).avg_rtt_ms
+
+
+@register_runner("fig8.jitter")
+def jitter_sample(
+    variant: str,
+    payload_size: int,
+    rate_mbps: float,
+    duration: float,
+    seed: int,
+    params: Optional[Dict[str, Any]] = None,
+) -> float:
+    """One fixed-bitrate UDP run; returns RFC 3550 jitter (ms)."""
+    result = run_udp_flow(
+        build_testbed(variant, params=params_from_dict(params), seed=seed).path(),
+        rate_bps=rate_mbps * 1e6,
+        duration=duration,
+        payload_size=payload_size,
+    )
+    return result.jitter_ms

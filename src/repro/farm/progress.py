@@ -1,0 +1,101 @@
+"""Farm telemetry: counters plus TraceBus-shaped records.
+
+The farm emits the same :class:`~repro.sim.trace.TraceRecord` shape the
+simulator uses for its own telemetry, onto a dedicated
+:class:`~repro.sim.trace.TraceBus` — so the same subscription/query
+helpers (and :func:`repro.analysis.report.render_farm_summary`) work on
+farm runs.  Record times are wall-clock seconds since the progress
+object was created (the farm runs in real time, not simulated time).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+from repro.farm.spec import RunSpec
+from repro.sim.trace import TraceBus
+
+SOURCE = "farm"
+
+
+class FarmProgress:
+    """Counts queued/running/done/failed tasks and per-task wall time."""
+
+    def __init__(self, bus: Optional[TraceBus] = None) -> None:
+        self.bus = bus if bus is not None else TraceBus()
+        self.queued = 0
+        self.cache_hits = 0
+        self.running = 0
+        self.done = 0
+        self.failed = 0
+        self.retried = 0
+        #: spec key -> wall seconds of the successful attempt
+        self.wall_times: Dict[str, float] = {}
+        self._t0 = time.perf_counter()
+
+    def _emit(self, topic: str, spec: Optional[RunSpec] = None, **data: Any) -> None:
+        if spec is not None:
+            data.setdefault("runner", spec.runner)
+            data.setdefault("key", spec.short_key)
+        self.bus.emit(time.perf_counter() - self._t0, topic, SOURCE, **data)
+
+    # ------------------------------------------------------------------
+    # lifecycle hooks called by the executor
+    # ------------------------------------------------------------------
+    def task_queued(self, spec: RunSpec) -> None:
+        self.queued += 1
+        self._emit("farm.task.queued", spec)
+
+    def task_cached(self, spec: RunSpec) -> None:
+        self.cache_hits += 1
+        self.done += 1
+        self._emit("farm.task.cached", spec)
+
+    def task_started(self, spec: RunSpec, attempt: int) -> None:
+        self.running += 1
+        self._emit("farm.task.started", spec, attempt=attempt)
+
+    def task_done(self, spec: RunSpec, wall_time: float) -> None:
+        self.running -= 1
+        self.done += 1
+        self.wall_times[spec.key] = wall_time
+        self._emit("farm.task.done", spec, wall_time=wall_time)
+
+    def task_retried(self, spec: RunSpec, reason: str) -> None:
+        self.running -= 1
+        self.retried += 1
+        self._emit("farm.task.retried", spec, reason=reason)
+
+    def task_failed(self, spec: RunSpec, reason: str) -> None:
+        self.running -= 1
+        self.failed += 1
+        self._emit("farm.task.failed", spec, reason=reason)
+
+    def farm_finished(self, jobs: int) -> None:
+        self._emit("farm.summary", None, jobs=jobs, **self.snapshot())
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    @property
+    def executed(self) -> int:
+        """Tasks that actually ran (done minus cache hits)."""
+        return self.done - self.cache_hits
+
+    @property
+    def total_task_wall(self) -> float:
+        return sum(self.wall_times.values())
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "queued": self.queued,
+            "running": self.running,
+            "done": self.done,
+            "failed": self.failed,
+            "retried": self.retried,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "task_wall_s": round(self.total_task_wall, 4),
+            "elapsed_s": round(time.perf_counter() - self._t0, 4),
+        }

@@ -32,12 +32,24 @@ class TraceBus:
     Topics are plain strings (``"link.drop"``, ``"compare.release"``,
     ``"alarm"`` ...).  A listener subscribed to ``""`` receives everything.
     Records are also retained in memory (bounded) for post-run assertions.
+
+    When retention saturates (``max_records`` reached), further records
+    are still delivered to listeners but no longer retained: a one-time
+    ``trace.saturation`` warning record is appended (so the retained log
+    is at most ``max_records`` + 1 long) and :attr:`dropped_count`
+    counts every record lost to truncation, so tests can detect a
+    truncated telemetry log instead of silently passing on it.
     """
+
+    #: topic of the one-time retention-saturation warning record
+    SATURATION_TOPIC = "trace.saturation"
 
     def __init__(self, retain: bool = True, max_records: int = 1_000_000) -> None:
         self._listeners: Dict[str, List[Listener]] = {}
         self._retain = retain
         self._max_records = max_records
+        self._saturation_warned = False
+        self.dropped_count = 0
         self.records: List[TraceRecord] = []
 
     def subscribe(self, topic: str, listener: Listener) -> None:
@@ -56,9 +68,28 @@ class TraceBus:
         **data: Any,
     ) -> None:
         record = TraceRecord(time=time, topic=topic, source=source, data=data)
-        if self._retain and len(self.records) < self._max_records:
-            self.records.append(record)
-        for listener in self._listeners.get(topic, ()):
+        if self._retain:
+            if len(self.records) < self._max_records:
+                self.records.append(record)
+            else:
+                self.dropped_count += 1
+                if not self._saturation_warned:
+                    self._saturation_warned = True
+                    warning = TraceRecord(
+                        time=time,
+                        topic=self.SATURATION_TOPIC,
+                        source="TraceBus",
+                        data={
+                            "max_records": self._max_records,
+                            "first_dropped_topic": topic,
+                        },
+                    )
+                    self.records.append(warning)
+                    self._dispatch(warning)
+        self._dispatch(record)
+
+    def _dispatch(self, record: TraceRecord) -> None:
+        for listener in self._listeners.get(record.topic, ()):
             listener(record)
         for listener in self._listeners.get("", ()):
             listener(record)
@@ -84,3 +115,5 @@ class TraceBus:
 
     def clear(self) -> None:
         self.records.clear()
+        self.dropped_count = 0
+        self._saturation_warned = False

@@ -28,6 +28,40 @@ class TestCli:
         out = capsys.readouterr().out
         assert "goodput" in out and "loss" in out
 
+    def test_fig7_parallel_output_matches_serial(self, capsys, tmp_path):
+        args = ["fig7", "--quick", "--cache-dir", str(tmp_path / "c")]
+        assert main(args + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert main(args + ["--jobs", "1", "--no-cache"]) == 0
+        serial = capsys.readouterr().out
+
+        def record_lines(out):
+            return [line for line in out.splitlines()
+                    if not line.startswith(("[farm]", "[fig7 finished"))]
+
+        assert record_lines(parallel) == record_lines(serial)
+
+    def test_fig7_cached_rerun_reports_full_hits(self, capsys, tmp_path):
+        args = ["fig7", "--quick", "--cache-dir", str(tmp_path / "c")]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "0% hits" in first or "miss" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "(100% hits)" in second
+        # the cached record is the same record
+        assert [l for l in first.splitlines() if "rtt_ms" in l] == [
+            l for l in second.splitlines() if "rtt_ms" in l
+        ]
+
+    def test_no_cache_flag_disables_cache_dir(self, capsys, tmp_path):
+        cache_dir = tmp_path / "c"
+        assert main(["fig7", "--quick", "--no-cache",
+                     "--cache-dir", str(cache_dir)]) == 0
+        assert not cache_dir.exists()
+        out = capsys.readouterr().out
+        assert "[farm]" in out and "[farm] cache" not in out
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["not-an-experiment"])

@@ -95,15 +95,56 @@ class TestTraceBus:
         bus = TraceBus(max_records=5)
         for i in range(10):
             bus.emit(float(i), "t", "s")
-        assert len(bus.records) == 5
+        # 5 data records + the one-time saturation warning
+        assert len(bus.records) == 6
+        assert len(bus.select(topic="t")) == 5
+
+    def test_saturation_warning_and_dropped_count(self):
+        bus = TraceBus(max_records=3)
+        for i in range(3):
+            bus.emit(float(i), "t", "s")
+        assert bus.dropped_count == 0
+        assert bus.count(TraceBus.SATURATION_TOPIC) == 0
+
+        for i in range(4):
+            bus.emit(float(3 + i), "t", "s")
+        assert bus.dropped_count == 4
+        # the warning is emitted exactly once and is itself retained
+        warnings = bus.select(topic=TraceBus.SATURATION_TOPIC)
+        assert len(warnings) == 1
+        assert warnings[0].data["max_records"] == 3
+        assert warnings[0].data["first_dropped_topic"] == "t"
+
+    def test_saturation_warning_reaches_listeners(self):
+        bus = TraceBus(max_records=1)
+        seen = []
+        bus.subscribe(TraceBus.SATURATION_TOPIC, seen.append)
+        bus.emit(0.0, "t", "s")
+        bus.emit(1.0, "t", "s")
+        assert len(seen) == 1
+
+    def test_listeners_still_fire_after_saturation(self):
+        bus = TraceBus(max_records=1)
+        seen = []
+        bus.subscribe("t", seen.append)
+        for i in range(5):
+            bus.emit(float(i), "t", "s")
+        assert len(seen) == 5  # delivery is never truncated, only retention
 
     def test_retention_disabled(self):
         bus = TraceBus(retain=False)
         bus.emit(0.0, "t", "s")
         assert bus.records == []
+        assert bus.dropped_count == 0  # disabling retention is not a drop
 
     def test_clear(self):
-        bus = TraceBus()
-        bus.emit(0.0, "t", "s")
+        bus = TraceBus(max_records=2)
+        for i in range(4):
+            bus.emit(float(i), "t", "s")
         bus.clear()
         assert bus.records == []
+        assert bus.dropped_count == 0
+        # the saturation warning re-arms after clear()
+        for i in range(4):
+            bus.emit(float(i), "t", "s")
+        assert bus.count(TraceBus.SATURATION_TOPIC) == 1
