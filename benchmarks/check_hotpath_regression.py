@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Gate hot-path micro-benchmark regressions against the checked-in baseline.
+
+Usage::
+
+    python benchmarks/check_hotpath_regression.py \
+        BENCH_hotpath.json benchmarks/hotpath_baseline.json [--factor 2.0]
+
+Compares the *normalised* value of every micro benchmark (per-call time
+divided by a pure-Python calibration loop timed on the same machine, so
+host speed cancels out) and exits non-zero if any is more than ``factor``
+times its baseline.  Macro wall-clock entries and derived speedup ratios
+are reported but never gated: they are too environment-sensitive for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: entries that are informational, not gated
+_UNGATED_SUFFIXES = ("_speedup",)
+_UNGATED_PREFIXES = ("macro_",)
+
+
+def _gated(name: str) -> bool:
+    return not (
+        name.startswith(_UNGATED_PREFIXES) or name.endswith(_UNGATED_SUFFIXES)
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="freshly produced BENCH_hotpath.json")
+    parser.add_argument("baseline", help="checked-in hotpath_baseline.json")
+    parser.add_argument("--factor", type=float, default=2.0,
+                        help="fail when normalised time exceeds baseline "
+                             "by this factor (default 2.0)")
+    args = parser.parse_args(argv)
+
+    with open(args.current, encoding="utf-8") as fh:
+        current = json.load(fh)["results"]
+    with open(args.baseline, encoding="utf-8") as fh:
+        baseline = json.load(fh)["results"]
+
+    failures = []
+    for name in sorted(baseline):
+        base = baseline[name].get("normalised", 0.0)
+        if not _gated(name) or base <= 0.0:
+            continue
+        if name not in current:
+            failures.append(f"{name}: missing from current results")
+            continue
+        now = current[name]["normalised"]
+        ratio = now / base
+        status = "FAIL" if ratio > args.factor else "ok"
+        print(f"[{status}] {name}: {now:.4f} vs baseline {base:.4f} "
+              f"(x{ratio:.2f}, limit x{args.factor:.1f})")
+        if ratio > args.factor:
+            failures.append(f"{name}: x{ratio:.2f} over baseline")
+
+    for name in sorted(current):
+        if name not in baseline:
+            print(f"[new ] {name}: no baseline yet")
+
+    if failures:
+        print(f"\n{len(failures)} hot-path regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nhot-path benchmarks within limits")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -124,6 +124,25 @@ def _cmd_virtualized(quick: bool, farm: Optional[FarmExecutor]) -> None:
               f"{scenario.compare_core.alarms.count()} alarms -> {verdict}")
 
 
+def _run_profiled(name: str, quick: bool, farm: Optional[FarmExecutor],
+                  top: int = 25) -> None:
+    """Run one experiment under cProfile, then print the hot spots."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        COMMANDS[name](quick, farm)
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative")
+        print(f"--- profile: {name} (top {top} by cumulative time) ---",
+              file=sys.stderr)
+        stats.print_stats(top)
+
+
 COMMANDS: Dict[str, Callable[[bool, Optional[FarmExecutor]], None]] = {
     "table1": _cmd_table1,
     "fig4": _cmd_fig4,
@@ -167,6 +186,12 @@ def main(argv=None) -> int:
         "--task-timeout", type=float, default=None, metavar="SECONDS",
         help="per-task wall-clock timeout on the farm",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run each experiment under cProfile and print the top "
+             "cumulative-time entries (use with --jobs 1: subprocess "
+             "work is invisible to the profiler)",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(COMMANDS) if args.experiment == "all" else [args.experiment]
@@ -178,7 +203,10 @@ def main(argv=None) -> int:
         )
         start = time.time()
         try:
-            COMMANDS[name](args.quick, farm)
+            if args.profile:
+                _run_profiled(name, args.quick, farm)
+            else:
+                COMMANDS[name](args.quick, farm)
         except FarmTaskError as exc:
             print(f"error: {exc}", file=sys.stderr)
             if farm.progress.queued:

@@ -192,10 +192,17 @@ class CombinerEndpoint(OpenFlowSwitch):
     def _from_external(self, packet: Packet, in_port_no: int) -> None:
         """Hub role: learn the source, duplicate to every branch."""
         self.estats.external_in += 1
-        if not packet.eth.src.is_multicast:
-            self._mac_table[packet.eth.src] = in_port_no
-            if packet.ip is not None:
-                self.address_registry[packet.ip.src] = packet.eth.src
+        eth, _vlan, ip, _l4, _payload = packet.fields()  # read-only access
+        if not eth.src.is_multicast:
+            self._mac_table[eth.src] = in_port_no
+            if ip is not None:
+                self.address_registry[ip.src] = eth.src
+        if self.mode == MODE_COMBINE and not self.mark_sources:
+            # Warm the wire-image cache before fanning out: the k CoW
+            # copies share it, so the egress compare vote-keys every
+            # benign copy without serialising again.  Pointless in dup
+            # mode (no compare) and when source marking mutates each copy.
+            packet.to_bytes()
         for branch in self.branch_ids:
             port = self.ports.get(self._port_by_branch[branch])
             if port is None or not port.is_wired:
@@ -213,14 +220,15 @@ class CombinerEndpoint(OpenFlowSwitch):
         self.estats.collected += 1
         if self.mark_sources:
             expected = branch_marker(branch)
-            if packet.eth.src != expected:
+            src = packet.fields()[0].src  # read-only access
+            if src != expected:
                 self.estats.spoof_drops += 1
                 self.alarms.raise_alarm(
                     self.sim.now,
                     ALARM_SPOOFED_BRANCH,
                     self.name,
                     branch=branch,
-                    claimed=str(packet.eth.src),
+                    claimed=str(src),
                 )
                 return
         if self.mode == MODE_DUP:
@@ -256,11 +264,13 @@ class CombinerEndpoint(OpenFlowSwitch):
         """Egress role: the compare released this packet; forward it on."""
         self.estats.released_out += 1
         claim = (packet.meta or {}).get("claim")
-        if self.mark_sources and packet.ip is not None:
-            original = self.address_registry.get(packet.ip.src)
-            if original is not None and packet.eth.src != original:
-                packet = packet.copy()  # note: clears meta; claim saved above
-                packet.eth.src = original
+        if self.mark_sources:
+            eth, _vlan, ip, _l4, _payload = packet.fields()  # read-only
+            if ip is not None:
+                original = self.address_registry.get(ip.src)
+                if original is not None and eth.src != original:
+                    packet = packet.copy()  # note: clears meta; claim saved above
+                    packet.eth.src = original
         if claim is not None:
             port = self.ports.get(claim)
             if port is not None and port.is_wired and claim in self.external_ports():
@@ -270,7 +280,7 @@ class CombinerEndpoint(OpenFlowSwitch):
         self._forward_external(packet)
 
     def _forward_external(self, packet: Packet) -> None:
-        out_port_no = self._mac_table.get(packet.eth.dst)
+        out_port_no = self._mac_table.get(packet.fields()[0].dst)
         externals = self.external_ports()
         if out_port_no is not None and out_port_no in externals:
             self.ports[out_port_no].send(packet.copy())

@@ -14,7 +14,7 @@ logic alongside the compare plumbing.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.net.node import Node, Port
 from repro.net.packet import Packet
@@ -32,10 +32,15 @@ class Hub(Node):
         name: str,
         trace_bus: Optional[TraceBus] = None,
     ) -> None:
+        self._branch_ports: Optional[List[Port]] = None
         super().__init__(sim, name, trace_bus)
         self.add_port(UPSTREAM_PORT)
         self.duplicated = 0
         self.merged = 0
+
+    def add_port(self, port_no: Optional[int] = None) -> Port:
+        self._branch_ports = None  # topology changed; re-derive lazily
+        return super().add_port(port_no)
 
     def add_branch_port(self) -> Port:
         """Add one downstream branch port."""
@@ -45,10 +50,22 @@ class Hub(Node):
     def branch_count(self) -> int:
         return len(self.ports) - 1
 
+    def _branches(self) -> List[Port]:
+        """Downstream ports in port order (cached; wiring checked per use)."""
+        ports = self._branch_ports
+        if ports is None:
+            ports = [
+                port
+                for port_no, port in sorted(self.ports.items())
+                if port_no != UPSTREAM_PORT
+            ]
+            self._branch_ports = ports
+        return ports
+
     def receive(self, packet: Packet, in_port: Port) -> None:
         if in_port.port_no == UPSTREAM_PORT:
-            for port_no, port in sorted(self.ports.items()):
-                if port_no != UPSTREAM_PORT and port.is_wired:
+            for port in self._branches():
+                if port.is_wired:
                     port.send(packet.copy())
                     self.duplicated += 1
         else:

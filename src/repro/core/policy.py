@@ -13,9 +13,15 @@ and sensitive to everything an adversary could abuse.
 from __future__ import annotations
 
 import hashlib
-from typing import Callable
+from typing import Callable, Optional
 
-from repro.net.packet import Packet
+from repro.net.addresses import MacAddress
+from repro.net.packet import (
+    ETHERNET_HEADER_LEN,
+    IPV4_HEADER_LEN,
+    VLAN_TAG_LEN,
+    Packet,
+)
 
 
 class ComparePolicy:
@@ -58,19 +64,29 @@ class HeaderOnlyPolicy(ComparePolicy):
     name = "header-only"
 
     def key(self, packet: Packet) -> bytes:
-        parts = [packet.eth.to_bytes()]
-        if packet.vlan is not None:
-            parts.append(packet.vlan.to_bytes(packet.eth.ethertype))
-        if packet.ip is not None:
+        wire = packet.wire_cache()
+        if wire is not None:
+            # The key is a pure re-slicing of the frame: Ethernet header
+            # with the *inner* ethertype, VLAN tag, then the IP header
+            # exactly as serialised (same total_length, same checksum).
+            _eth, vlan, ip, _l4, _payload = packet.fields()
+            if vlan is None:
+                return wire[:34] if ip is not None else wire[:ETHERNET_HEADER_LEN]
+            if ip is not None:
+                return wire[:12] + wire[16:18] + wire[14:38]
+            return wire[:12] + wire[16:18] + wire[14:18]
+        eth, vlan, ip, _l4, _payload = packet.fields()
+        parts = [eth.to_bytes()]
+        if vlan is not None:
+            parts.append(vlan.to_bytes(eth.ethertype))
+        if ip is not None:
             # IP header includes total_length, so length tampering is
             # still caught; the payload bytes themselves are not.  Work
             # on a copy: Ipv4.to_bytes records the length it was given.
-            from repro.net.packet import ETHERNET_HEADER_LEN, IPV4_HEADER_LEN, VLAN_TAG_LEN
-
             overhead = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN
-            if packet.vlan is not None:
+            if vlan is not None:
                 overhead += VLAN_TAG_LEN
-            parts.append(packet.ip.copy().to_bytes(packet.wire_len - overhead))
+            parts.append(ip.copy().to_bytes(packet.wire_len - overhead))
         return b"".join(parts)
 
 
@@ -113,12 +129,23 @@ class MaskedPolicy(ComparePolicy):
         inner: ComparePolicy,
         normalise: Callable[[Packet], Packet],
         name: str = "masked",
+        wire_transform: Optional[Callable[[Packet, bytes], bytes]] = None,
     ) -> None:
         self._inner = inner
         self._normalise = normalise
         self.name = name
+        # A wire_transform maps the packet's cached frame straight to the
+        # key the normalise+inner pair would produce.  Only sound when the
+        # inner policy votes on raw frame bytes.
+        self._wire_transform = (
+            wire_transform if isinstance(inner, BitExactPolicy) else None
+        )
 
     def key(self, packet: Packet) -> bytes:
+        if self._wire_transform is not None:
+            wire = packet.wire_cache()
+            if wire is not None:
+                return self._wire_transform(packet, wire)
         return self._inner.key(self._normalise(packet))
 
     def __repr__(self) -> str:
@@ -135,18 +162,30 @@ def strip_vlan_policy(inner: ComparePolicy) -> MaskedPolicy:
         stripped.vlan = None
         return stripped
 
-    return MaskedPolicy(inner, normalise, name=f"{inner.name}+strip-vlan")
+    def wire_transform(packet: Packet, wire: bytes) -> bytes:
+        if packet.fields()[1] is None:  # untagged: key is the frame itself
+            return wire
+        # Drop the 0x8100 ethertype + TCI; the inner ethertype and the
+        # rest of the frame (incl. checksums, which do not cover L2)
+        # are already the stripped packet's exact serialisation.
+        return wire[:12] + wire[16:]
+
+    return MaskedPolicy(inner, normalise, name=f"{inner.name}+strip-vlan",
+                        wire_transform=wire_transform)
 
 
 def mask_src_mac_policy(inner: ComparePolicy) -> MaskedPolicy:
     """A policy that ignores ``dl_src`` (source-marked endpoints)."""
-    from repro.net.addresses import MacAddress
-
     zero = MacAddress(0)
+    zero_bytes = zero.to_bytes()
 
     def normalise(packet: Packet) -> Packet:
         masked = packet.copy()
         masked.eth.src = zero
         return masked
 
-    return MaskedPolicy(inner, normalise, name=f"{inner.name}+mask-src")
+    def wire_transform(packet: Packet, wire: bytes) -> bytes:
+        return wire[:6] + zero_bytes + wire[12:]
+
+    return MaskedPolicy(inner, normalise, name=f"{inner.name}+mask-src",
+                        wire_transform=wire_transform)

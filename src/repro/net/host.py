@@ -138,7 +138,7 @@ class Host(Node):
     # receiving
     # ------------------------------------------------------------------
     def receive(self, packet: Packet, in_port: Port) -> None:
-        dst = packet.eth.dst
+        dst = packet.fields()[0].dst  # read-only: skip CoW materialisation
         if dst != self.mac and not dst.is_broadcast and not self.promiscuous:
             self.rx_foreign += 1
             self.trace("host.foreign_frame", packet=packet)
@@ -170,17 +170,18 @@ class Host(Node):
 
     def _dispatch(self, packet: Packet) -> None:
         handled = False
-        if isinstance(packet.l4, Udp):
-            handler = self._udp_handlers.get(packet.l4.dport)
+        l4 = packet.fields()[3]  # read-only: skip CoW materialisation
+        if isinstance(l4, Udp):
+            handler = self._udp_handlers.get(l4.dport)
             if handler is not None:
                 handler(packet)
                 handled = True
-        elif isinstance(packet.l4, Tcp):
-            handler = self._tcp_handlers.get(packet.l4.dport)
+        elif isinstance(l4, Tcp):
+            handler = self._tcp_handlers.get(l4.dport)
             if handler is not None:
                 handler(packet)
                 handled = True
-        elif isinstance(packet.l4, Icmp):
+        elif isinstance(l4, Icmp):
             if self._icmp_handler is not None:
                 self._icmp_handler(packet)
                 handled = True
@@ -194,21 +195,21 @@ class Host(Node):
     # default ICMP echo behaviour
     # ------------------------------------------------------------------
     def _echo_responder(self, packet: Packet) -> None:
-        icmp = packet.l4
+        eth, _vlan, ip, icmp, _payload = packet.fields()
         if not isinstance(icmp, Icmp) or icmp.icmp_type != ICMP_ECHO_REQUEST:
             return
-        if packet.ip is None or packet.ip.dst != self.ip:
+        if ip is None or ip.dst != self.ip:
             return
         reply = Packet.icmp_echo(
             src_mac=self.mac,
-            dst_mac=packet.eth.src,
+            dst_mac=eth.src,
             src_ip=self.ip,
-            dst_ip=packet.ip.src,
+            dst_ip=ip.src,
             ident=icmp.ident,
             seqno=icmp.seqno,
             reply=True,
             payload=packet.payload,
             ip_ident=self.next_ip_ident(),
         )
-        self.trace("host.echo_reply", to=str(packet.ip.src), seq=icmp.seqno)
+        self.trace("host.echo_reply", to=str(ip.src), seq=icmp.seqno)
         self.send(reply)

@@ -117,36 +117,38 @@ class LegacyRouter(Node):
         self.sim.schedule_at(finish, lambda: self._forward(packet, in_port.port_no))
 
     def _forward(self, packet: Packet, in_port_no: int) -> None:
+        eth, _vlan, ip, _l4, _payload = packet.fields()  # read-only access
         if (
             not self.accept_any_dst_mac
-            and packet.eth.dst != self.mac
-            and not packet.eth.dst.is_broadcast
+            and eth.dst != self.mac
+            and not eth.dst.is_broadcast
         ):
             self.dropped_not_for_us += 1
             self.trace("legacy.not_for_us", packet=packet)
             return
-        if packet.ip is None:
+        if ip is None:
             self.dropped_no_route += 1
             self.trace("legacy.non_ip", packet=packet)
             return
-        if packet.ip.ttl <= 1:
+        if ip.ttl <= 1:
             self.dropped_ttl += 1
             self.trace("legacy.ttl_exceeded", packet=packet)
             self._send_time_exceeded(packet, in_port_no)
             return
-        route = self.lookup(packet.ip.dst)
+        route = self.lookup(ip.dst)
         if route is None:
             self.dropped_no_route += 1
-            self.trace("legacy.no_route", dst=str(packet.ip.dst))
+            self.trace("legacy.no_route", dst=str(ip.dst))
             return
         out = self.ports.get(route.out_port)
         if out is None or not out.is_wired:
             self.dropped_no_route += 1
             return
         hop = packet.copy()
-        hop.ip.ttl -= 1
-        hop.eth.src = self.mac
-        hop.eth.dst = route.next_hop_mac
+        # Both rewrites patch a valid cached wire image in place (RFC 1624
+        # incremental checksum for the TTL) instead of re-serialising.
+        hop.decrement_ttl()
+        hop.rewrite_eth(src=self.mac, dst=route.next_hop_mac)
         out.send(hop)
         self.forwarded += 1
 

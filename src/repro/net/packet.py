@@ -10,12 +10,36 @@ any adversarial header rewrite must change the buffer.
 A :class:`Packet` is a stack ``ethernet [vlan] [ipv4 [udp|tcp|icmp]]`` plus
 an opaque payload.  ``Packet.to_bytes()`` serialises the full frame and
 ``Packet.parse()`` round-trips it.
+
+Hot-path machinery (see DESIGN.md "Per-packet hot path"):
+
+* every header carries a monotonic version counter bumped on field writes,
+  so a packet can memoise its serialised frame (``to_bytes`` returns the
+  cached wire image until some header or the payload changes);
+* ``Packet.copy()`` is copy-on-write: the k-way fan-out of a hub shares
+  header objects, payload and the cached wire image, and a branch pays for
+  private header copies only when it actually mutates them;
+* :func:`internet_checksum` sums native 16-bit words in one C-level loop,
+  and :func:`incremental_checksum_update` implements RFC 1624 so the
+  TTL-decrement path of a routed hop patches the cached image in place.
+
+**Mutability contract**: packets are mutable, but equality and hashing are
+defined over the serialised bytes.  Mutating a header *after* using the
+packet as a dict/set key is a bug (the stored hash is stale, as for any
+mutable key); the wire-image cache itself always invalidates correctly —
+``to_bytes``/``__hash__`` recompute after any header or payload write.
+Holding a header reference across ``Packet.copy()`` and mutating it
+directly raises :class:`PacketError` (the header may be shared with the
+sibling copy); go through the owning packet's attribute instead, which
+materialises a private header first.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import List, Optional, Tuple, Union
+import sys
+from array import array
+from typing import Callable, List, Optional, Tuple, Union
 
 from repro.net.addresses import IpAddress, MacAddress
 
@@ -54,24 +78,81 @@ UDP_HEADER_LEN = 8
 TCP_HEADER_LEN = 20
 ICMP_HEADER_LEN = 8
 
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
 
 class PacketError(Exception):
     """Raised on malformed packet construction or parsing."""
 
 
 def internet_checksum(data: bytes) -> int:
-    """RFC 1071 ones-complement checksum over ``data``."""
-    if len(data) % 2:
-        data += b"\x00"
-    total = 0
-    for (word,) in struct.iter_unpack("!H", data):
-        total += word
+    """RFC 1071 ones-complement checksum over ``data``.
+
+    Sums native-endian 16-bit words in a single C-level loop and
+    byte-swaps the folded result once: ones-complement addition commutes
+    with byte swapping (RFC 1071 §2.B), so the result is identical to
+    summing big-endian words.
+    """
+    if len(data) & 1:
+        data = data + b"\x00"
+    total = sum(array("H", data))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    if _LITTLE_ENDIAN:
+        total = ((total & 0xFF) << 8) | (total >> 8)
+    return (~total) & 0xFFFF
+
+
+def incremental_checksum_update(checksum: int, old_word: int, new_word: int) -> int:
+    """RFC 1624 (eqn. 3) checksum update for one rewritten 16-bit field.
+
+    ``HC' = ~(~HC + ~m + m')`` with end-around carry; bit-identical to a
+    full recompute for IP headers (whose word sum is never zero).
+    """
+    total = (~checksum & 0xFFFF) + (~old_word & 0xFFFF) + (new_word & 0xFFFF)
     while total >> 16:
         total = (total & 0xFFFF) + (total >> 16)
     return (~total) & 0xFFFF
 
 
-class Ethernet:
+class _Header:
+    """Base for header objects: version counter + copy-on-write guard.
+
+    Every public field write bumps ``_v``, letting :class:`Packet` detect
+    a stale cached wire image with a few integer compares.  ``_shared``
+    is set when the header becomes referenced by more than one CoW packet
+    copy; mutating a shared header directly raises, because the write
+    would silently leak into sibling copies — access the header through
+    the owning packet's attribute instead, which materialises a private
+    copy first.
+
+    Constructors write their fields with :meth:`_init` (plain
+    ``object.__setattr__``), both because a half-built header has no
+    bookkeeping slots yet and because header construction is itself hot
+    (every parse, copy and materialisation runs one).
+    """
+
+    __slots__ = ("_v", "_shared")
+
+    def _init(self) -> Callable[[object, str, object], None]:
+        """Start __init__: create bookkeeping slots, return a raw setter."""
+        setter = object.__setattr__
+        setter(self, "_shared", False)
+        setter(self, "_v", 0)
+        return setter
+
+    def __setattr__(self, name: str, value: object) -> None:
+        if self._shared:
+            raise PacketError(
+                f"cannot set {name!r} on a {type(self).__name__} shared by "
+                "copy-on-write packet copies; access it via the owning "
+                "Packet attribute to materialise a private copy first"
+            )
+        object.__setattr__(self, name, value)
+        object.__setattr__(self, "_v", self._v + 1)
+
+
+class Ethernet(_Header):
     """Ethernet II header (no FCS; the simulator has no bit errors)."""
 
     __slots__ = ("dst", "src", "ethertype")
@@ -82,9 +163,10 @@ class Ethernet:
         src: MacAddress,
         ethertype: int = ETH_TYPE_IPV4,
     ) -> None:
-        self.dst = MacAddress(dst)
-        self.src = MacAddress(src)
-        self.ethertype = ethertype
+        s = self._init()
+        s(self, "dst", MacAddress(dst))
+        s(self, "src", MacAddress(src))
+        s(self, "ethertype", ethertype)
 
     def to_bytes(self) -> bytes:
         return self.dst.to_bytes() + self.src.to_bytes() + struct.pack("!H", self.ethertype)
@@ -105,7 +187,7 @@ class Ethernet:
         return f"Ethernet({self.src} -> {self.dst}, type={self.ethertype:#06x})"
 
 
-class Vlan:
+class Vlan(_Header):
     """An 802.1Q tag (PCP + VID); inserted after the Ethernet header."""
 
     __slots__ = ("vid", "pcp")
@@ -115,8 +197,9 @@ class Vlan:
             raise PacketError(f"VLAN id out of range: {vid}")
         if not 0 <= pcp < 8:
             raise PacketError(f"VLAN priority out of range: {pcp}")
-        self.vid = vid
-        self.pcp = pcp
+        s = self._init()
+        s(self, "vid", vid)
+        s(self, "pcp", pcp)
 
     def to_bytes(self, inner_ethertype: int) -> bytes:
         tci = (self.pcp << 13) | self.vid
@@ -136,7 +219,7 @@ class Vlan:
         return f"Vlan(vid={self.vid}, pcp={self.pcp})"
 
 
-class Ipv4:
+class Ipv4(_Header):
     """IPv4 header (20 bytes, no options)."""
 
     __slots__ = ("src", "dst", "proto", "ttl", "ident", "tos", "total_length")
@@ -150,17 +233,21 @@ class Ipv4:
         ident: int = 0,
         tos: int = 0,
     ) -> None:
-        self.src = IpAddress(src)
-        self.dst = IpAddress(dst)
-        self.proto = proto
-        self.ttl = ttl
-        self.ident = ident & 0xFFFF
-        self.tos = tos
+        s = self._init()
+        s(self, "src", IpAddress(src))
+        s(self, "dst", IpAddress(dst))
+        s(self, "proto", proto)
+        s(self, "ttl", ttl)
+        s(self, "ident", ident & 0xFFFF)
+        s(self, "tos", tos)
         # Filled in at serialisation time from actual packet contents.
-        self.total_length = 0
+        s(self, "total_length", 0)
 
     def to_bytes(self, payload_len: int) -> bytes:
-        self.total_length = IPV4_HEADER_LEN + payload_len
+        # total_length is derived from the buffer being built, so writing
+        # it is not a mutation: bypass the version/shared bookkeeping
+        # (serialising a CoW-shared header must stay legal and cheap).
+        object.__setattr__(self, "total_length", IPV4_HEADER_LEN + payload_len)
         header = struct.pack(
             "!BBHHHBBH4s4s",
             (4 << 4) | 5,  # version=4, ihl=5
@@ -203,14 +290,14 @@ class Ipv4:
 
     def copy(self) -> "Ipv4":
         dup = Ipv4(self.src, self.dst, self.proto, ttl=self.ttl, ident=self.ident, tos=self.tos)
-        dup.total_length = self.total_length
+        object.__setattr__(dup, "total_length", self.total_length)
         return dup
 
     def __repr__(self) -> str:
         return f"Ipv4({self.src} -> {self.dst}, proto={self.proto}, ttl={self.ttl})"
 
 
-class Udp:
+class Udp(_Header):
     """UDP header.  Checksum computed over the standard pseudo-header."""
 
     __slots__ = ("sport", "dport")
@@ -219,8 +306,9 @@ class Udp:
         for port in (sport, dport):
             if not 0 <= port < 65536:
                 raise PacketError(f"port out of range: {port}")
-        self.sport = sport
-        self.dport = dport
+        s = self._init()
+        s(self, "sport", sport)
+        s(self, "dport", dport)
 
     def to_bytes(self, ip: Ipv4, payload: bytes) -> bytes:
         length = UDP_HEADER_LEN + len(payload)
@@ -247,7 +335,7 @@ class Udp:
         return f"Udp({self.sport} -> {self.dport})"
 
 
-class Tcp:
+class Tcp(_Header):
     """TCP header (20 bytes, no options)."""
 
     __slots__ = ("sport", "dport", "seq", "ack", "flags", "window")
@@ -264,12 +352,13 @@ class Tcp:
         for port in (sport, dport):
             if not 0 <= port < 65536:
                 raise PacketError(f"port out of range: {port}")
-        self.sport = sport
-        self.dport = dport
-        self.seq = seq & 0xFFFFFFFF
-        self.ack = ack & 0xFFFFFFFF
-        self.flags = flags
-        self.window = window & 0xFFFF
+        s = self._init()
+        s(self, "sport", sport)
+        s(self, "dport", dport)
+        s(self, "seq", seq & 0xFFFFFFFF)
+        s(self, "ack", ack & 0xFFFFFFFF)
+        s(self, "flags", flags)
+        s(self, "window", window & 0xFFFF)
 
     def flag(self, mask: int) -> bool:
         return bool(self.flags & mask)
@@ -326,16 +415,17 @@ class Tcp:
         )
 
 
-class Icmp:
+class Icmp(_Header):
     """ICMP echo request/reply header."""
 
     __slots__ = ("icmp_type", "code", "ident", "seqno")
 
     def __init__(self, icmp_type: int, code: int = 0, ident: int = 0, seqno: int = 0) -> None:
-        self.icmp_type = icmp_type
-        self.code = code
-        self.ident = ident & 0xFFFF
-        self.seqno = seqno & 0xFFFF
+        s = self._init()
+        s(self, "icmp_type", icmp_type)
+        s(self, "code", code)
+        s(self, "ident", ident & 0xFFFF)
+        s(self, "seqno", seqno & 0xFFFF)
 
     @property
     def is_echo_request(self) -> bool:
@@ -367,17 +457,29 @@ class Icmp:
 
 TransportHeader = Union[Udp, Tcp, Icmp]
 
+# CoW bitmask positions for Packet._cow
+_COW_ETH = 1
+_COW_VLAN = 2
+_COW_IP = 4
+_COW_L4 = 8
+
 
 class Packet:
     """A full frame: Ethernet, optional VLAN tag, optional IPv4+transport.
 
     Instances are mutable (adversaries rewrite headers in place on their
-    copy); :meth:`copy` produces a deep, independent duplicate as a hub
-    would.  Equality and hashing are defined over the serialised bytes,
-    which is exactly the comparison the NetCo compare element performs.
+    copy); :meth:`copy` produces an independent copy-on-write duplicate as
+    a hub would.  Equality and hashing are defined over the serialised
+    bytes, which is exactly the comparison the NetCo compare element
+    performs.
+
+    The serialised frame is memoised: ``to_bytes`` returns a cached wire
+    image until a header version counter or the payload changes.  See the
+    module docstring for the mutability contract.
     """
 
-    __slots__ = ("eth", "vlan", "ip", "l4", "payload", "meta")
+    __slots__ = ("_eth", "_vlan", "_ip", "_l4", "_payload", "meta",
+                 "_wire", "_snap", "_cow")
 
     def __init__(
         self,
@@ -389,16 +491,100 @@ class Packet:
     ) -> None:
         if l4 is not None and ip is None:
             raise PacketError("transport header requires an IPv4 header")
-        self.eth = eth
-        self.vlan = vlan
-        self.ip = ip
-        self.l4 = l4
-        self.payload = payload
+        self._eth = eth
+        self._vlan = vlan
+        self._ip = ip
+        self._l4 = l4
+        self._payload = payload
+        self._wire: Optional[bytes] = None
+        self._snap: Optional[tuple] = None
+        self._cow = 0
         # Out-of-band metadata (e.g. the combiner branch id a trusted mux
         # attaches before handing a packet to the compare — the simulator
         # analogue of the in_port field of an OpenFlow Packet-in).  Never
         # serialised, never part of equality, never survives copy().
         self.meta: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    # header access (copy-on-write aware)
+    # ------------------------------------------------------------------
+    def _materialise(self, bit: int, slot: str) -> None:
+        """Replace a CoW-shared header with a private copy (same bytes)."""
+        old = getattr(self, slot)
+        if old is not None:
+            cache_ok = self._cache_valid()
+            setattr(self, slot, old.copy())
+            if cache_ok:
+                self._snap = self._snapshot()  # wire bytes are unchanged
+        self._cow &= ~bit
+
+    @property
+    def eth(self) -> Ethernet:
+        if self._cow & _COW_ETH:
+            self._materialise(_COW_ETH, "_eth")
+        return self._eth
+
+    @eth.setter
+    def eth(self, value: Ethernet) -> None:
+        self._eth = value
+        self._cow &= ~_COW_ETH
+        self._wire = None
+
+    @property
+    def vlan(self) -> Optional[Vlan]:
+        if self._cow & _COW_VLAN:
+            self._materialise(_COW_VLAN, "_vlan")
+        return self._vlan
+
+    @vlan.setter
+    def vlan(self, value: Optional[Vlan]) -> None:
+        self._vlan = value
+        self._cow &= ~_COW_VLAN
+        self._wire = None
+
+    @property
+    def ip(self) -> Optional[Ipv4]:
+        if self._cow & _COW_IP:
+            self._materialise(_COW_IP, "_ip")
+        return self._ip
+
+    @ip.setter
+    def ip(self, value: Optional[Ipv4]) -> None:
+        self._ip = value
+        self._cow &= ~_COW_IP
+        self._wire = None
+
+    @property
+    def l4(self) -> Optional[TransportHeader]:
+        if self._cow & _COW_L4:
+            self._materialise(_COW_L4, "_l4")
+        return self._l4
+
+    @l4.setter
+    def l4(self, value: Optional[TransportHeader]) -> None:
+        self._l4 = value
+        self._cow &= ~_COW_L4
+        self._wire = None
+
+    @property
+    def payload(self) -> bytes:
+        return self._payload
+
+    @payload.setter
+    def payload(self, value: bytes) -> None:
+        self._payload = value
+        self._wire = None
+
+    def fields(self) -> tuple:
+        """Read-only view ``(eth, vlan, ip, l4, payload)`` of the stack.
+
+        Unlike the header properties this never materialises CoW-shared
+        headers, so it is the accessor of choice for hot read paths
+        (matching, policies).  Callers must not mutate the returned
+        headers — they may be shared with sibling copies, and the
+        headers' own guard raises :class:`PacketError` on the attempt.
+        """
+        return self._eth, self._vlan, self._ip, self._l4, self._payload
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -472,34 +658,72 @@ class Packet:
         )
 
     # ------------------------------------------------------------------
-    # serialisation
+    # serialisation (memoised)
     # ------------------------------------------------------------------
+    def _snapshot(self) -> tuple:
+        """Current header versions (cache coherence stamp)."""
+        vlan, ip, l4 = self._vlan, self._ip, self._l4
+        return (
+            self._eth._v,
+            -1 if vlan is None else vlan._v,
+            -1 if ip is None else ip._v,
+            -1 if l4 is None else l4._v,
+        )
+
+    def _cache_valid(self) -> bool:
+        if self._wire is None:
+            return False
+        snap = self._snap
+        vlan, ip, l4 = self._vlan, self._ip, self._l4
+        return (
+            snap[0] == self._eth._v
+            and snap[1] == (-1 if vlan is None else vlan._v)
+            and snap[2] == (-1 if ip is None else ip._v)
+            and snap[3] == (-1 if l4 is None else l4._v)
+        )
+
+    def wire_cache(self) -> Optional[bytes]:
+        """The cached wire image, or None if absent/stale (never computes)."""
+        return self._wire if self._cache_valid() else None
+
     def to_bytes(self) -> bytes:
-        """Serialise the full frame deterministically."""
+        """Serialise the full frame deterministically (cached)."""
+        if self._wire is not None and self._cache_valid():
+            return self._wire
+        wire = self._serialise()
+        self._wire = wire
+        self._snap = self._snapshot()
+        return wire
+
+    def _serialise(self) -> bytes:
+        """Build the wire image from scratch (no cache interaction)."""
+        eth, vlan, ip, l4, payload = (
+            self._eth, self._vlan, self._ip, self._l4, self._payload,
+        )
         parts: List[bytes] = []
-        inner_type = self.eth.ethertype
-        if self.vlan is not None:
+        inner_type = eth.ethertype
+        if vlan is not None:
             parts.append(
-                self.eth.dst.to_bytes()
-                + self.eth.src.to_bytes()
+                eth.dst.to_bytes()
+                + eth.src.to_bytes()
                 + struct.pack("!H", ETH_TYPE_VLAN)
             )
-            parts.append(self.vlan.to_bytes(inner_type))
+            parts.append(vlan.to_bytes(inner_type))
         else:
-            parts.append(self.eth.to_bytes())
-        if self.ip is not None:
+            parts.append(eth.to_bytes())
+        if ip is not None:
             l4_bytes = b""
-            if isinstance(self.l4, Udp):
-                l4_bytes = self.l4.to_bytes(self.ip, self.payload)
-            elif isinstance(self.l4, Tcp):
-                l4_bytes = self.l4.to_bytes(self.ip, self.payload)
-            elif isinstance(self.l4, Icmp):
-                l4_bytes = self.l4.to_bytes(self.payload)
-            parts.append(self.ip.to_bytes(len(l4_bytes) + len(self.payload)))
+            if isinstance(l4, Udp):
+                l4_bytes = l4.to_bytes(ip, payload)
+            elif isinstance(l4, Tcp):
+                l4_bytes = l4.to_bytes(ip, payload)
+            elif isinstance(l4, Icmp):
+                l4_bytes = l4.to_bytes(payload)
+            parts.append(ip.to_bytes(len(l4_bytes) + len(payload)))
             parts.append(l4_bytes)
-            parts.append(self.payload)
+            parts.append(payload)
         else:
-            parts.append(self.payload)
+            parts.append(payload)
         return b"".join(parts)
 
     @classmethod
@@ -527,33 +751,125 @@ class Packet:
     @property
     def wire_len(self) -> int:
         """Frame length in bytes on the wire."""
-        length = ETHERNET_HEADER_LEN + len(self.payload)
-        if self.vlan is not None:
+        if self._wire is not None and self._cache_valid():
+            return len(self._wire)
+        length = ETHERNET_HEADER_LEN + len(self._payload)
+        if self._vlan is not None:
             length += VLAN_TAG_LEN
-        if self.ip is not None:
+        if self._ip is not None:
             length += IPV4_HEADER_LEN
-            if isinstance(self.l4, Udp):
+            l4 = self._l4
+            if isinstance(l4, Udp):
                 length += UDP_HEADER_LEN
-            elif isinstance(self.l4, Tcp):
+            elif isinstance(l4, Tcp):
                 length += TCP_HEADER_LEN
-            elif isinstance(self.l4, Icmp):
+            elif isinstance(l4, Icmp):
                 length += ICMP_HEADER_LEN
         return length
+
+    # ------------------------------------------------------------------
+    # in-place header rewrites that keep the wire cache coherent
+    # ------------------------------------------------------------------
+    def decrement_ttl(self, delta: int = 1) -> None:
+        """Decrement the IPv4 TTL, patching the cached wire image in place.
+
+        When the cache is valid this costs a TTL byte rewrite plus an
+        RFC 1624 incremental checksum update instead of a full
+        re-serialisation; the result is bit-identical either way.
+        """
+        if self._ip is None:
+            raise PacketError("decrement_ttl on a packet without an IPv4 header")
+        cache_ok = self._cache_valid()
+        wire = self._wire
+        ip = self.ip  # materialises a private header if CoW-shared
+        new_ttl = ip.ttl - delta
+        if not 0 <= new_ttl <= 255:
+            raise PacketError(f"TTL out of range after decrement: {new_ttl}")
+        ip.ttl = new_ttl
+        if not cache_ok:
+            return
+        off = ETHERNET_HEADER_LEN + (VLAN_TAG_LEN if self._vlan is not None else 0)
+        ttl_off = off + 8
+        csum_off = off + 10
+        old_word = (wire[ttl_off] << 8) | wire[ttl_off + 1]
+        new_word = (new_ttl << 8) | wire[ttl_off + 1]
+        old_sum = (wire[csum_off] << 8) | wire[csum_off + 1]
+        new_sum = incremental_checksum_update(old_sum, old_word, new_word)
+        self._wire = b"".join((
+            wire[:ttl_off],
+            bytes((new_ttl,)),
+            wire[ttl_off + 1 : csum_off],
+            new_sum.to_bytes(2, "big"),
+            wire[csum_off + 2 :],
+        ))
+        self._snap = self._snapshot()
+
+    def rewrite_eth(
+        self,
+        src: Optional[MacAddress] = None,
+        dst: Optional[MacAddress] = None,
+    ) -> None:
+        """Rewrite Ethernet addresses, patching the cached wire image.
+
+        The Ethernet header carries no checksum, so a routed hop's MAC
+        rewrite is a pure byte splice when the cache is valid.
+        """
+        cache_ok = self._cache_valid()
+        wire = self._wire
+        eth = self.eth  # materialises a private header if CoW-shared
+        if src is not None:
+            eth.src = MacAddress(src)
+        if dst is not None:
+            eth.dst = MacAddress(dst)
+        if cache_ok:
+            self._wire = eth.dst.to_bytes() + eth.src.to_bytes() + wire[12:]
+            self._snap = self._snapshot()
 
     # ------------------------------------------------------------------
     # duplication / identity
     # ------------------------------------------------------------------
     def copy(self) -> "Packet":
-        """Deep copy — what a hub emits on each redundant branch."""
-        return Packet(
-            self.eth.copy(),
-            self.ip.copy() if self.ip is not None else None,
-            self.l4.copy() if self.l4 is not None else None,
-            self.payload,
-            vlan=self.vlan.copy() if self.vlan is not None else None,
-        )
+        """Copy-on-write duplicate — what a hub emits on each branch.
+
+        Headers and payload are shared with the original and marked
+        shared; the first mutating access on either side (through the
+        packet's header properties) materialises a private header copy.
+        A valid cached wire image is shared too, so a k-way fan-out
+        serialises — and the compare element vote-keys — the frame once.
+        """
+        new = Packet.__new__(Packet)
+        eth, vlan, ip, l4 = self._eth, self._vlan, self._ip, self._l4
+        hset = object.__setattr__
+        cow = _COW_ETH
+        hset(eth, "_shared", True)
+        if vlan is not None:
+            cow |= _COW_VLAN
+            hset(vlan, "_shared", True)
+        if ip is not None:
+            cow |= _COW_IP
+            hset(ip, "_shared", True)
+        if l4 is not None:
+            cow |= _COW_L4
+            hset(l4, "_shared", True)
+        new._eth = eth
+        new._vlan = vlan
+        new._ip = ip
+        new._l4 = l4
+        new._payload = self._payload
+        new.meta = None
+        new._cow = cow
+        self._cow |= cow
+        if self._wire is not None and self._cache_valid():
+            new._wire = self._wire
+            new._snap = self._snap
+        else:
+            new._wire = None
+            new._snap = None
+        return new
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Packet):
             return NotImplemented
         return self.to_bytes() == other.to_bytes()
@@ -563,13 +879,14 @@ class Packet:
 
     def summary(self) -> str:
         """Short human-readable description (tcpdump-ish one-liner)."""
-        parts = [f"{self.eth.src}>{self.eth.dst}"]
-        if self.vlan is not None:
-            parts.append(f"vlan{self.vlan.vid}")
-        if self.ip is not None:
-            parts.append(f"{self.ip.src}>{self.ip.dst}")
-        if self.l4 is not None:
-            parts.append(repr(self.l4))
+        eth, vlan, ip, l4, _payload = self.fields()
+        parts = [f"{eth.src}>{eth.dst}"]
+        if vlan is not None:
+            parts.append(f"vlan{vlan.vid}")
+        if ip is not None:
+            parts.append(f"{ip.src}>{ip.dst}")
+        if l4 is not None:
+            parts.append(repr(l4))
         parts.append(f"{self.wire_len}B")
         return " ".join(parts)
 

@@ -4,15 +4,23 @@ Lookup returns the highest-priority matching entry (earliest-installed on
 ties, which is deterministic and matches common switch behaviour).  Idle
 and hard timeouts are evaluated lazily against the simulated clock; the
 switch sweeps expired entries and emits *flow-removed* notifications.
+
+Lookups are served by a two-tier structure: fully-specified entries (the
+shape a reactive controller installs per flow — :meth:`Match.is_exact`)
+live in a hash index keyed by their 12-tuple, probed with the packet's
+:func:`packet_probe_keys`; everything else falls back to a linear scan in
+``(priority desc, install order)`` rank, which stops early once it cannot
+beat the best indexed hit.  Control-plane mutations (add/remove/sweep)
+rebuild the index — they are rarer than lookups by orders of magnitude.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.net.packet import Packet
 from repro.openflow.actions import Action
-from repro.openflow.match import Match
+from repro.openflow.match import Match, packet_probe_keys
 
 
 class FlowEntry:
@@ -29,6 +37,7 @@ class FlowEntry:
         "last_matched",
         "packet_count",
         "byte_count",
+        "seq",
     )
 
     def __init__(
@@ -51,6 +60,10 @@ class FlowEntry:
         self.last_matched = created_at
         self.packet_count = 0
         self.byte_count = 0
+        # Install-order tie-break, assigned by the owning FlowTable; an
+        # entry replacing an identical match+priority inherits the old
+        # entry's seq so replacement preserves table position.
+        self.seq = 0
 
     def record_hit(self, packet: Packet, now: float) -> None:
         self.packet_count += 1
@@ -72,11 +85,21 @@ class FlowEntry:
         )
 
 
+def _rank(entry: FlowEntry) -> Tuple[int, int]:
+    """Lookup precedence: higher priority first, then install order."""
+    return (-entry.priority, entry.seq)
+
+
 class FlowTable:
     """Priority-ordered flow table with OF 1.0 add/modify/delete semantics."""
 
     def __init__(self) -> None:
         self._entries: List[FlowEntry] = []
+        self._next_seq = 0
+        # Exact-match index: 12-tuple key -> rank-sorted bucket.
+        self._exact: Dict[tuple, List[FlowEntry]] = {}
+        # Everything else, rank-sorted for the early-exit scan.
+        self._wildcard: List[FlowEntry] = []
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -93,25 +116,55 @@ class FlowTable:
         """Install an entry; replaces an entry with identical match+priority."""
         for i, existing in enumerate(self._entries):
             if existing.priority == entry.priority and existing.match == entry.match:
+                entry.seq = existing.seq  # keep the replaced entry's position
                 self._entries[i] = entry
-                self._sort()
+                self._rebuild()
                 return
+        entry.seq = self._next_seq
+        self._next_seq += 1
         self._entries.append(entry)
-        self._sort()
+        self._rebuild()
 
-    def _sort(self) -> None:
-        # Stable sort: by descending priority; insertion order breaks ties.
-        self._entries.sort(key=lambda e: -e.priority)
+    def _rebuild(self) -> None:
+        """Re-sort and re-index after any control-plane mutation."""
+        self._entries.sort(key=_rank)
+        exact: Dict[tuple, List[FlowEntry]] = {}
+        wildcard: List[FlowEntry] = []
+        for entry in self._entries:
+            if entry.match.is_exact():
+                exact.setdefault(entry.match._key(), []).append(entry)
+            else:
+                wildcard.append(entry)
+        self._exact = exact
+        self._wildcard = wildcard
 
     def lookup(self, packet: Packet, in_port: int, now: float) -> Optional[FlowEntry]:
         """Highest-priority live entry matching the packet, else None."""
-        for entry in self._entries:
+        best: Optional[FlowEntry] = None
+        best_rank: Optional[Tuple[int, int]] = None
+        if self._exact:
+            for key in packet_probe_keys(packet, in_port):
+                bucket = self._exact.get(key)
+                if not bucket:
+                    continue
+                for entry in bucket:  # rank-sorted: first live one wins
+                    if entry.expired(now):
+                        continue
+                    rank = _rank(entry)
+                    if best_rank is None or rank < best_rank:
+                        best, best_rank = entry, rank
+                    break
+        for entry in self._wildcard:  # rank-sorted: stop once outranked
+            if best_rank is not None and _rank(entry) > best_rank:
+                break
             if entry.expired(now):
                 continue
             if entry.match.matches(packet, in_port):
-                entry.record_hit(packet, now)
-                return entry
-        return None
+                best = entry
+                break
+        if best is not None:
+            best.record_hit(packet, now)
+        return best
 
     def remove(
         self,
@@ -135,7 +188,9 @@ class FlowTable:
                 removed.append(entry)
             else:
                 kept.append(entry)
-        self._entries = kept
+        if removed:
+            self._entries = kept
+            self._rebuild()
         return removed
 
     def sweep_expired(self, now: float) -> List[FlowEntry]:
@@ -143,6 +198,7 @@ class FlowTable:
         expired = [e for e in self._entries if e.expired(now)]
         if expired:
             self._entries = [e for e in self._entries if not e.expired(now)]
+            self._rebuild()
         return expired
 
     def total_packets(self) -> int:

@@ -14,40 +14,47 @@ sequence number), and all randomness flows through seeded
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 
 class SimulationError(Exception):
     """Raised for invalid uses of the simulation engine."""
 
 
-@dataclass(order=True)
 class _Event:
     """A single scheduled callback.
 
-    Ordering is (time, seq) so that simultaneous events preserve FIFO
-    scheduling order, which keeps runs bit-for-bit reproducible.
+    Events sit in the heap as ``(time, seq, event)`` tuples, so ordering
+    is decided by plain float/int comparisons — simultaneous events
+    preserve FIFO scheduling order, which keeps runs bit-for-bit
+    reproducible — and the event object itself is a bare slotted record.
     """
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "callback", "cancelled", "fired")
+
+    def __init__(self, time: float, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.callback: Optional[Callable[[], None]] = callback
+        self.cancelled = False
+        self.fired = False
 
 
 class EventHandle:
     """Handle returned by :meth:`Simulator.schedule`; allows cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: _Event) -> None:
+    def __init__(self, event: _Event, sim: "Simulator") -> None:
         self._event = event
+        self._sim = sim
 
     def cancel(self) -> None:
         """Cancel the event if it has not fired yet (idempotent)."""
-        self._event.cancelled = True
+        event = self._event
+        if not event.cancelled and not event.fired:
+            event.cancelled = True
+            event.callback = None  # release closure references early
+            self._sim._note_cancel()
 
     @property
     def cancelled(self) -> bool:
@@ -69,10 +76,17 @@ class Simulator:
         sim.run(until=1.0)
     """
 
+    # Compact the heap when cancelled entries both dominate it and are
+    # numerous enough to be worth the O(n) rebuild (Timer restarts can
+    # cancel far more events than ever fire).
+    _COMPACT_MIN_DEAD = 64
+
     def __init__(self) -> None:
         self._now = 0.0
-        self._queue: List[_Event] = []
-        self._seq = itertools.count()
+        self._queue: List[Tuple[float, int, _Event]] = []
+        self._seq = 0
+        self._live = 0  # queued, non-cancelled events (O(1) pending_events)
+        self._dead = 0  # cancelled events still sitting in the heap
         self._running = False
         self._events_processed = 0
         self._stop_requested = False
@@ -109,9 +123,11 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule into the past (now={self._now}, when={when})"
             )
-        event = _Event(time=when, seq=next(self._seq), callback=callback)
-        heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        event = _Event(when, callback)
+        heapq.heappush(self._queue, (when, self._seq, event))
+        self._seq += 1
+        self._live += 1
+        return EventHandle(event, self)
 
     # ------------------------------------------------------------------
     # execution
@@ -132,19 +148,25 @@ class Simulator:
         self._running = True
         self._stop_requested = False
         executed = 0
+        queue = self._queue
         try:
-            while self._queue:
+            while queue:
                 if self._stop_requested:
                     break
-                event = self._queue[0]
+                event = queue[0][2]
                 if event.cancelled:
-                    heapq.heappop(self._queue)
+                    heapq.heappop(queue)
+                    self._dead -= 1
                     continue
                 if until is not None and event.time > until:
                     break
-                heapq.heappop(self._queue)
+                heapq.heappop(queue)
+                self._live -= 1
                 self._now = event.time
-                event.callback()
+                callback = event.callback
+                event.fired = True
+                event.callback = None
+                callback()
                 self._events_processed += 1
                 executed += 1
                 if max_events is not None and executed > max_events:
@@ -162,7 +184,17 @@ class Simulator:
 
     def pending_events(self) -> int:
         """Number of queued (non-cancelled) events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        return self._live
+
+    def _note_cancel(self) -> None:
+        """Bookkeeping for an EventHandle.cancel(); may compact the heap."""
+        self._live -= 1
+        self._dead += 1
+        if self._dead > self._COMPACT_MIN_DEAD and self._dead * 2 > len(self._queue):
+            # In place: run() iterates over the same list object.
+            self._queue[:] = [item for item in self._queue if not item[2].cancelled]
+            heapq.heapify(self._queue)
+            self._dead = 0
 
 
 class CpuResource:

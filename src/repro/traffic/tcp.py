@@ -83,8 +83,8 @@ class TcpReceiver:
 
     # ------------------------------------------------------------------
     def _on_segment(self, packet: Packet) -> None:
-        tcp = packet.l4
-        if not isinstance(tcp, Tcp) or packet.ip is None:
+        _eth, _vlan, ip, tcp, _payload = packet.fields()  # read-only access
+        if not isinstance(tcp, Tcp) or ip is None:
             return
         if tcp.flag(TCP_SYN):
             self._on_syn(packet, tcp)
@@ -123,8 +123,9 @@ class TcpReceiver:
         if self.rcv_nxt is not None and tcp.sport != self.peer_port:
             return  # second connection attempt: ignore
         first_syn = self.rcv_nxt is None
-        self.peer_mac = packet.eth.src
-        self.peer_ip = packet.ip.src
+        eth, _vlan, ip, _l4, _payload = packet.fields()  # read-only access
+        self.peer_mac = eth.src
+        self.peer_ip = ip.src
         self.peer_port = tcp.sport
         self.rcv_nxt = tcp.seq + 1
         if first_syn:
@@ -282,7 +283,7 @@ class TcpSender:
     # segment receive path (SYN-ACK and ACKs)
     # ------------------------------------------------------------------
     def _on_segment(self, packet: Packet) -> None:
-        tcp = packet.l4
+        tcp = packet.fields()[3]  # read-only access
         if not isinstance(tcp, Tcp) or not tcp.flag(TCP_ACK):
             return
         if not self.connected:

@@ -1,0 +1,287 @@
+"""Wire-image cache, copy-on-write and the Packet mutability contract.
+
+The compare element votes on exact packet bytes, so the cached wire
+image must never go stale: every adversarial rewrite the repo models
+(VLAN moves, MAC retargeting, payload corruption, TTL games) must change
+``to_bytes()``/``__hash__`` exactly as a cache-less packet would.  These
+tests pin that, plus the documented contract itself: packets hash by
+value, so mutating one *after* using it as a dict key is a caller bug,
+and mutating a header object shared by copy-on-write raises.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.modify import dst_mac_rewrite, vlan_rewrite
+from repro.net.addresses import IpAddress, MacAddress
+from repro.net.packet import (
+    Ethernet,
+    Ipv4,
+    Packet,
+    PacketError,
+    Vlan,
+    incremental_checksum_update,
+    internet_checksum,
+)
+
+
+def make_packet(payload: bytes = b"hello-netco", vlan: Vlan = None) -> Packet:
+    return Packet.udp(
+        src_mac=MacAddress.from_index(1),
+        dst_mac=MacAddress.from_index(2),
+        src_ip=IpAddress.from_index(1),
+        dst_ip=IpAddress.from_index(2),
+        sport=4000,
+        dport=5001,
+        payload=payload,
+        vlan=vlan,
+    )
+
+
+class TestWireCache:
+    def test_to_bytes_is_memoised(self):
+        packet = make_packet()
+        assert packet.to_bytes() is packet.to_bytes()
+
+    def test_wire_cache_reports_validity(self):
+        packet = make_packet()
+        assert packet.wire_cache() is None
+        wire = packet.to_bytes()
+        assert packet.wire_cache() is wire
+        packet.ip.ttl = 5
+        assert packet.wire_cache() is None
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda p: setattr(p.eth, "src", MacAddress.from_index(9)),
+            lambda p: setattr(p.eth, "dst", MacAddress.from_index(9)),
+            lambda p: setattr(p.ip, "ttl", 3),
+            lambda p: setattr(p.ip, "src", IpAddress.from_index(9)),
+            lambda p: setattr(p.l4, "dport", 9999),
+            lambda p: setattr(p, "payload", b"tampered"),
+            lambda p: setattr(p, "vlan", Vlan(7)),
+            lambda p: setattr(p, "eth", Ethernet(MacAddress.from_index(3),
+                                                 MacAddress.from_index(4))),
+        ],
+        ids=["eth.src", "eth.dst", "ip.ttl", "ip.src", "l4.dport",
+             "payload", "vlan-attach", "eth-replace"],
+    )
+    def test_any_mutation_invalidates(self, mutate):
+        packet = make_packet()
+        before = packet.to_bytes()
+        mutate(packet)
+        after = packet.to_bytes()
+        assert after != before
+        assert after == packet._serialise()  # cache agrees with scratch build
+
+    def test_serialisation_matches_scratch_build_when_cached(self):
+        packet = make_packet(vlan=Vlan(10, pcp=3))
+        assert packet.to_bytes() == packet._serialise()
+
+    def test_wire_len_uses_cache_and_survives_invalidation(self):
+        packet = make_packet()
+        cold = packet.wire_len
+        assert cold == len(packet.to_bytes())
+        packet.payload = b"xx" * 300
+        assert packet.wire_len == len(packet.to_bytes())
+
+
+class TestAdversarialRewrites:
+    """The rewrites adversary behaviors apply must defeat the cache."""
+
+    def test_vlan_rewrite_changes_bytes_and_hash(self):
+        packet = make_packet()
+        packet.to_bytes()  # warm
+        copy = packet.copy()
+        before_hash = hash(copy)
+        vlan_rewrite(66)(copy)
+        assert copy.to_bytes() != packet.to_bytes()
+        assert hash(copy) != before_hash
+        parsed = Packet.parse(copy.to_bytes())
+        assert parsed.vlan is not None and parsed.vlan.vid == 66
+
+    def test_vlan_vid_rewrite_on_tagged_packet(self):
+        packet = make_packet(vlan=Vlan(5))
+        packet.to_bytes()
+        copy = packet.copy()
+        vlan_rewrite(99)(copy)
+        assert copy.to_bytes() != packet.to_bytes()
+        assert Packet.parse(copy.to_bytes()).vlan.vid == 99
+        assert Packet.parse(packet.to_bytes()).vlan.vid == 5
+
+    def test_dst_mac_rewrite_changes_bytes(self):
+        packet = make_packet()
+        packet.to_bytes()
+        copy = packet.copy()
+        dst_mac_rewrite(MacAddress.from_index(77))(copy)
+        assert copy.to_bytes() != packet.to_bytes()
+        assert Packet.parse(copy.to_bytes()).eth.dst == MacAddress.from_index(77)
+
+    def test_payload_corruption_changes_bytes(self):
+        packet = make_packet()
+        packet.to_bytes()
+        copy = packet.copy()
+        corrupted = bytearray(copy.payload)
+        corrupted[0] ^= 0xFF
+        copy.payload = bytes(corrupted)
+        assert copy.to_bytes() != packet.to_bytes()
+        # The original's cached image is untouched.
+        assert Packet.parse(packet.to_bytes()).payload == packet.payload
+
+
+class TestCopyOnWrite:
+    def test_warm_copy_shares_wire_image(self):
+        packet = make_packet()
+        wire = packet.to_bytes()
+        copy = packet.copy()
+        assert copy.to_bytes() is wire  # shared, not re-serialised
+
+    def test_cold_copy_is_equal_but_independent(self):
+        packet = make_packet()
+        copy = packet.copy()
+        assert copy == packet
+        copy.ip.ttl = 9
+        assert copy != packet
+
+    def test_mutating_copy_leaves_original_cache_valid(self):
+        packet = make_packet()
+        wire = packet.to_bytes()
+        copy = packet.copy()
+        copy.eth.dst = MacAddress.from_index(42)
+        assert packet.to_bytes() is wire
+        assert copy.to_bytes() != wire
+
+    def test_mutating_original_leaves_copy_intact(self):
+        packet = make_packet()
+        packet.to_bytes()
+        copy = packet.copy()
+        packet.ip.ttl = 2
+        assert Packet.parse(copy.to_bytes()).ip.ttl == 64
+
+    def test_read_access_keeps_shared_cache(self):
+        packet = make_packet()
+        wire = packet.to_bytes()
+        copy = packet.copy()
+        # Property access materialises a private header but the bytes are
+        # unchanged, so the shared wire image must stay valid.
+        assert copy.eth.src == packet.fields()[0].src
+        assert copy.to_bytes() is wire
+
+    def test_meta_never_survives_copy(self):
+        packet = make_packet()
+        packet.meta = {"branch": 3}
+        copy = packet.copy()
+        assert copy.meta is None
+
+    def test_fields_does_not_materialise(self):
+        packet = make_packet()
+        copy = packet.copy()
+        eth, _vlan, ip, _l4, _payload = copy.fields()
+        assert eth is packet.fields()[0]  # still the shared object
+        assert ip is packet.fields()[2]
+
+
+class TestMutabilityContract:
+    def test_stashed_header_reference_mutation_raises(self):
+        packet = make_packet()
+        stashed = packet.eth  # reference taken before the copy
+        packet.copy()
+        with pytest.raises(PacketError):
+            stashed.src = MacAddress.from_index(9)
+
+    def test_mutation_through_owner_is_fine_after_copy(self):
+        packet = make_packet()
+        packet.copy()
+        packet.eth.src = MacAddress.from_index(9)  # materialises first
+        assert packet.fields()[0].src == MacAddress.from_index(9)
+
+    def test_dict_key_then_mutation_is_a_stale_hash(self):
+        """The documented bug: value-hashed mutable keys go stale."""
+        packet = make_packet()
+        table = {packet: "entry"}
+        packet.ip.ttl = 7
+        # The stored slot used the old hash; the mutated packet now hashes
+        # differently, so lookup by the same object misses.
+        assert packet not in table
+
+    def test_equality_is_over_bytes(self):
+        one = make_packet()
+        two = make_packet()
+        assert one == two and hash(one) == hash(two)
+        two.l4.sport = 4001
+        assert one != two
+
+
+class TestInPlaceRewrites:
+    @pytest.mark.parametrize("ttl", [2, 3, 17, 64, 128, 255])
+    def test_decrement_ttl_patch_is_bit_identical(self, ttl):
+        packet = make_packet()
+        packet.ip.ttl = ttl
+        packet.to_bytes()  # warm: decrement patches the cached image
+        packet.decrement_ttl()
+        patched = packet.to_bytes()
+        assert patched == packet._serialise()
+        parsed = Packet.parse(patched)  # parse re-verifies the IP checksum
+        assert parsed.ip.ttl == ttl - 1
+
+    def test_decrement_ttl_cold_still_works(self):
+        packet = make_packet()
+        packet.decrement_ttl()
+        assert Packet.parse(packet.to_bytes()).ip.ttl == 63
+
+    def test_decrement_ttl_tagged_packet(self):
+        packet = make_packet(vlan=Vlan(12))
+        packet.to_bytes()
+        packet.decrement_ttl()
+        assert packet.to_bytes() == packet._serialise()
+
+    def test_rewrite_eth_patch_is_bit_identical(self):
+        packet = make_packet()
+        packet.to_bytes()
+        packet.rewrite_eth(src=MacAddress.from_index(7),
+                           dst=MacAddress.from_index(8))
+        assert packet.to_bytes() == packet._serialise()
+        parsed = Packet.parse(packet.to_bytes())
+        assert parsed.eth.src == MacAddress.from_index(7)
+        assert parsed.eth.dst == MacAddress.from_index(8)
+
+    def test_routed_hop_on_cow_copy_keeps_cache(self):
+        """The legacy-router hop: copy, TTL-1, MAC rewrite — one serialise."""
+        packet = make_packet()
+        packet.to_bytes()
+        hop = packet.copy()
+        hop.decrement_ttl()
+        hop.rewrite_eth(src=MacAddress.from_index(5),
+                        dst=MacAddress.from_index(6))
+        assert hop.wire_cache() is not None  # never went cold
+        assert hop.to_bytes() == hop._serialise()
+        assert packet.to_bytes() == packet._serialise()
+
+    def test_decrement_below_zero_raises(self):
+        packet = make_packet()
+        packet.ip.ttl = 0
+        with pytest.raises(PacketError):
+            packet.decrement_ttl()
+
+
+class TestIncrementalChecksum:
+    def test_matches_full_recompute_for_all_ttls(self):
+        ip = Ipv4(IpAddress.from_index(1), IpAddress.from_index(2), 17)
+        for ttl in range(1, 256):
+            ip.ttl = ttl
+            full = ip.to_bytes(100)
+            old_sum = int.from_bytes(full[10:12], "big")
+            old_word = int.from_bytes(full[8:10], "big")
+            new_word = ((ttl - 1) << 8) | full[9]
+            ip.ttl = ttl - 1
+            expect = int.from_bytes(ip.to_bytes(100)[10:12], "big")
+            assert incremental_checksum_update(old_sum, old_word, new_word) == expect
+
+    def test_checksum_of_patched_header_verifies(self):
+        packet = make_packet()
+        packet.to_bytes()
+        packet.decrement_ttl()
+        wire = packet.to_bytes()
+        assert internet_checksum(wire[14:34]) == 0  # RFC 1071 self-check
