@@ -41,26 +41,30 @@ from repro.analysis.runners import (
 from repro.farm import FarmExecutor, FarmTaskError, ResultCache
 
 
-def _cmd_table1(quick: bool, farm: Optional[FarmExecutor]) -> None:
+def _cmd_table1(quick: bool, farm: Optional[FarmExecutor]) -> list:
     kwargs = dict(duration_tcp=0.06, duration_udp=0.04, ping_count=20,
                   repetitions=1) if quick else {}
-    print(render_table1(run_table1(farm=farm, **kwargs),
-                        paper=paper_table1_values()))
+    results = run_table1(farm=farm, **kwargs)
+    print(render_table1(results, paper=paper_table1_values()))
+    return [{"scenario": scenario, **metrics}
+            for scenario, metrics in results.items()]
 
 
-def _cmd_fig4(quick: bool, farm: Optional[FarmExecutor]) -> None:
+def _cmd_fig4(quick: bool, farm: Optional[FarmExecutor]) -> list:
     record = run_fig4_tcp(duration=0.06 if quick else 0.15,
                           repetitions=1 if quick else 2, farm=farm)
     print(render_record(record))
+    return [record.to_dict()]
 
 
-def _cmd_fig5(quick: bool, farm: Optional[FarmExecutor]) -> None:
+def _cmd_fig5(quick: bool, farm: Optional[FarmExecutor]) -> list:
     record = run_fig5_udp(duration=0.04 if quick else 0.08,
                           iterations=6 if quick else 8, farm=farm)
     print(render_record(record))
+    return [record.to_dict()]
 
 
-def _cmd_fig6(quick: bool, farm: Optional[FarmExecutor]) -> None:
+def _cmd_fig6(quick: bool, farm: Optional[FarmExecutor]) -> list:
     offered = (60, 180, 230, 270, 350) if quick else (
         60, 120, 180, 210, 230, 250, 270, 300, 350)
     points = run_fig6_loss_correlation(offered_mbps=offered,
@@ -70,29 +74,37 @@ def _cmd_fig6(quick: bool, farm: Optional[FarmExecutor]) -> None:
                         "goodput Mbit/s", [(o, round(g, 1)) for o, g, _ in points]))
     print(render_series("Figure 6: Central3 loss", "offered Mbit/s",
                         "loss rate", [(o, round(l, 4)) for o, _, l in points]))
+    return [{"offered_mbps": o, "goodput_mbps": round(g, 3),
+             "loss_rate": round(l, 6)} for o, g, l in points]
 
 
-def _cmd_fig7(quick: bool, farm: Optional[FarmExecutor]) -> None:
+def _cmd_fig7(quick: bool, farm: Optional[FarmExecutor]) -> list:
     record = run_fig7_rtt(count=20 if quick else 50,
                           sequences=1 if quick else 3, farm=farm)
     print(render_record(record))
+    return [record.to_dict()]
 
 
-def _cmd_fig8(quick: bool, farm: Optional[FarmExecutor]) -> None:
+def _cmd_fig8(quick: bool, farm: Optional[FarmExecutor]) -> list:
     sizes = (128, 512, 1470) if quick else (128, 256, 512, 1024, 1470)
     series = run_fig8_jitter(payload_sizes=sizes,
                              repetitions=1 if quick else 2, farm=farm)
+    records = []
     for scenario, points in series.items():
         print(render_series(f"Figure 8 — {scenario}", "payload B",
                             "jitter ms", [(s, round(j, 5)) for s, j in points]))
+        records.append({"scenario": scenario,
+                        "points": [[s, round(j, 6)] for s, j in points]})
+    return records
 
 
-def _cmd_casestudy(quick: bool, farm: Optional[FarmExecutor]) -> None:
+def _cmd_casestudy(quick: bool, farm: Optional[FarmExecutor]) -> list:
     from repro.analysis.report import format_table
     from repro.scenarios.datacenter import DatacenterCaseStudy
 
     study = DatacenterCaseStudy(seed=1, echo_count=10)
     rows = []
+    records = []
     for result in (study.run_baseline(), study.run_attack(), study.run_protected()):
         rows.append([
             result.scenario,
@@ -101,15 +113,24 @@ def _cmd_casestudy(quick: bool, farm: Optional[FarmExecutor]) -> None:
             str(result.responses_at_vm1),
             str(result.screening.strays),
         ])
+        records.append({
+            "scenario": result.scenario,
+            "requests_sent": result.requests_sent,
+            "requests_at_fw1": result.requests_at_fw1,
+            "responses_at_vm1": result.responses_at_vm1,
+            "strays": result.screening.strays,
+        })
     print("Section VI case study")
     print(format_table(["scenario", "sent", "req@fw1", "resp@vm1", "strays"], rows))
+    return records
 
 
-def _cmd_virtualized(quick: bool, farm: Optional[FarmExecutor]) -> None:
+def _cmd_virtualized(quick: bool, farm: Optional[FarmExecutor]) -> list:
     from repro.adversary import PayloadCorruptionBehavior
     from repro.scenarios.virtualized import build_virtualized_scenario
     from repro.traffic.iperf import PathEndpoints, run_ping
 
+    records = []
     for k in (2, 3):
         scenario = build_virtualized_scenario(k=k, paths_available=3, seed=1)
         PayloadCorruptionBehavior().attach(scenario.transit(1))
@@ -122,10 +143,14 @@ def _cmd_virtualized(quick: bool, farm: Optional[FarmExecutor]) -> None:
         print(f"virtualized k={k} + corrupt vendor: "
               f"{result.received}/{result.sent} pings, "
               f"{scenario.compare_core.alarms.count()} alarms -> {verdict}")
+        records.append({"k": k, "sent": result.sent, "received": result.received,
+                        "alarms": scenario.compare_core.alarms.count(),
+                        "verdict": verdict})
+    return records
 
 
 def _run_profiled(name: str, quick: bool, farm: Optional[FarmExecutor],
-                  top: int = 25) -> None:
+                  top: int = 25) -> list:
     """Run one experiment under cProfile, then print the hot spots."""
     import cProfile
     import pstats
@@ -133,7 +158,7 @@ def _run_profiled(name: str, quick: bool, farm: Optional[FarmExecutor],
     profiler = cProfile.Profile()
     profiler.enable()
     try:
-        COMMANDS[name](quick, farm)
+        return COMMANDS[name](quick, farm)
     finally:
         profiler.disable()
         stats = pstats.Stats(profiler, stream=sys.stderr)
@@ -143,7 +168,7 @@ def _run_profiled(name: str, quick: bool, farm: Optional[FarmExecutor],
         stats.print_stats(top)
 
 
-COMMANDS: Dict[str, Callable[[bool, Optional[FarmExecutor]], None]] = {
+COMMANDS: Dict[str, Callable[[bool, Optional[FarmExecutor]], list]] = {
     "table1": _cmd_table1,
     "fig4": _cmd_fig4,
     "fig5": _cmd_fig5,
@@ -156,9 +181,18 @@ COMMANDS: Dict[str, Callable[[bool, Optional[FarmExecutor]], None]] = {
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "obs":
+        # Observability subcommands live in their own parser; the heavy
+        # imports stay lazy so `python -m repro fig5` never pays them.
+        from repro.obs.cli import obs_main
+
+        return obs_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Regenerate the NetCo paper's tables and figures.",
+        description="Regenerate the NetCo paper's tables and figures "
+                    "(`python -m repro obs --help` for observability tools).",
     )
     parser.add_argument(
         "experiment",
@@ -192,9 +226,16 @@ def main(argv=None) -> int:
              "cumulative-time entries (use with --jobs 1: subprocess "
              "work is invisible to the profiler)",
     )
+    parser.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write a RunReport JSON (experiment records + farm progress) "
+             "here after the run",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(COMMANDS) if args.experiment == "all" else [args.experiment]
+    all_records = []
+    farm_snapshots = {}
     for name in names:
         farm = FarmExecutor(
             jobs=args.jobs,
@@ -204,9 +245,9 @@ def main(argv=None) -> int:
         start = time.time()
         try:
             if args.profile:
-                _run_profiled(name, args.quick, farm)
+                records = _run_profiled(name, args.quick, farm)
             else:
-                COMMANDS[name](args.quick, farm)
+                records = COMMANDS[name](args.quick, farm)
         except FarmTaskError as exc:
             print(f"error: {exc}", file=sys.stderr)
             if farm.progress.queued:
@@ -216,6 +257,21 @@ def main(argv=None) -> int:
         if farm.progress.queued:
             print(render_farm_summary(farm.progress, cache=farm.cache))
         print(f"[{name} finished in {time.time() - start:.1f}s]\n")
+        for record in records or ():
+            all_records.append({"experiment": name, **record})
+        if farm.progress.queued:
+            farm_snapshots[name] = farm.progress.snapshot()
+    if args.report:
+        from repro.obs.report import RunReport
+
+        RunReport(
+            name=args.experiment,
+            meta={"quick": args.quick, "jobs": args.jobs,
+                  "experiments": names},
+            records=all_records,
+            farm=farm_snapshots or None,
+        ).save(args.report)
+        print(f"[run report written to {args.report}]")
     return 0
 
 

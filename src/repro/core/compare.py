@@ -42,6 +42,7 @@ from repro.core.alarms import (
 from repro.core.policy import BitExactPolicy, ComparePolicy
 from repro.core.votes import VoteBook, VoteEntry
 from repro.net.packet import Packet
+from repro.obs.metrics import active_registry
 from repro.sim import PeriodicTask, Simulator, TraceBus
 
 
@@ -176,6 +177,25 @@ class CompareCore:
         self._miss_counts: Dict[int, int] = {b: 0 for b in self.branch_ids}
         self._unavailable: Dict[int, bool] = {b: False for b in self.branch_ids}
         self._sweeper = PeriodicTask(sim, config.buffer_timeout, self._sweep)
+        # Latency/quorum histograms bound from the registry active at
+        # construction time; None when metrics are disabled so the
+        # release path pays a single test per packet.
+        registry = active_registry()
+        if registry.enabled:
+            self._h_release_latency = registry.histogram(
+                "compare_release_latency_seconds",
+                "time from a packet's first copy arriving to its release",
+                labelnames=("compare",),
+            ).labels(name)
+            self._h_quorum_votes = registry.histogram(
+                "compare_quorum_votes",
+                "distinct branches that had voted when a packet released",
+                labelnames=("compare",),
+                buckets=(1.0, 2.0, 3.0, 4.0, 5.0, 7.0, 9.0),
+            ).labels(name)
+        else:
+            self._h_release_latency = None
+            self._h_quorum_votes = None
 
     # ------------------------------------------------------------------
     # submission path
@@ -234,14 +254,33 @@ class CompareCore:
             self._note_duplicate(branch, context)
         else:
             self._dup_strikes[branch] = 0
+        if packet.trace_id is not None:
+            self._trace(
+                "compare.vote",
+                trace=packet.trace_id,
+                branch=branch,
+                votes=outcome.entry.distinct_branches,
+                duplicate=outcome.is_branch_duplicate,
+                late=outcome.late_copy,
+            )
         if outcome.late_copy:
             self.stats.late_copies += 1
             self._trace("compare.late_copy", branch=branch)
             return
         if outcome.newly_released:
+            entry = outcome.entry
             self.stats.released += 1
-            self._trace("compare.release", branch=branch, votes=outcome.entry.distinct_branches)
-            context.release(outcome.entry.packet)
+            if self._h_release_latency is not None:
+                self._h_release_latency.observe(now - entry.first_seen)
+                self._h_quorum_votes.observe(entry.distinct_branches)
+            self._trace(
+                "compare.release",
+                branch=branch,
+                votes=entry.distinct_branches,
+                trace=entry.packet.trace_id,
+                latency=now - entry.first_seen,
+            )
+            context.release(entry.packet)
 
     # ------------------------------------------------------------------
     # cache management (the Figure 8 jitter mechanism)
@@ -297,6 +336,7 @@ class CompareCore:
                 "compare.drop_unreleased",
                 votes=entry.distinct_branches,
                 copies=entry.total_copies(),
+                trace=entry.packet.trace_id,
             )
 
     # ------------------------------------------------------------------

@@ -203,6 +203,7 @@ class CombinerEndpoint(OpenFlowSwitch):
             # benign copy without serialising again.  Pointless in dup
             # mode (no compare) and when source marking mutates each copy.
             packet.to_bytes()
+        fanout = 0
         for branch in self.branch_ids:
             port = self.ports.get(self._port_by_branch[branch])
             if port is None or not port.is_wired:
@@ -212,6 +213,9 @@ class CombinerEndpoint(OpenFlowSwitch):
                 copy.eth.src = branch_marker(branch)
             port.send(copy)
             self.estats.duplicated += 1
+            fanout += 1
+        if packet.trace_id is not None:
+            self.trace("endpoint.dup", trace=packet.trace_id, fanout=fanout)
 
     def _from_branch(
         self, packet: Packet, branch: int, claim: Optional[int] = None

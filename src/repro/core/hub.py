@@ -64,10 +64,14 @@ class Hub(Node):
 
     def receive(self, packet: Packet, in_port: Port) -> None:
         if in_port.port_no == UPSTREAM_PORT:
+            fanout = 0
             for port in self._branches():
                 if port.is_wired:
                     port.send(packet.copy())
                     self.duplicated += 1
+                    fanout += 1
+            if packet.trace_id is not None:
+                self.trace("hub.dup", trace=packet.trace_id, fanout=fanout)
         else:
             upstream = self.ports[UPSTREAM_PORT]
             if upstream.is_wired:

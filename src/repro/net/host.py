@@ -81,6 +81,9 @@ class Host(Node):
         self._raw_handler: Optional[PacketHandler] = None
         self._ip_ident = 0
         self.rx_foreign = 0  # frames addressed to someone else (screening)
+        # Packet-lifecycle tracer (repro.obs.spans.PacketTracer); when set,
+        # frames are marked at injection so their trajectory can be followed.
+        self.tracer = None
         self.add_port(1)
         self.enable_echo_responder()
 
@@ -128,6 +131,9 @@ class Host(Node):
         The transmission waits for the host CPU if the receive path is
         busy serving queued arrivals.
         """
+        tracer = self.tracer
+        if tracer is not None and packet.trace_id is None:
+            tracer.mark(packet, self.sim.now, self.name)
         depart = max(self.sim.now, self._cpu_busy_until) + self._stack_traversal()
         if depart <= self.sim.now:
             self.port(1).send(packet)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from repro.obs.metrics import active_registry
 from repro.sim import RngStreams, Simulator, TraceBus
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -65,6 +66,19 @@ class _Direction:
         self._busy_until = 0.0
         self._queued = 0  # packets serialised or waiting to serialise
         self.stats = LinkStats()
+        # Metrics are bound from the registry active at construction
+        # time; a disabled registry binds None and the hot path pays one
+        # `is not None` test per packet.
+        registry = active_registry()
+        self._h_queue_delay = (
+            registry.histogram(
+                "link_queue_delay_seconds",
+                "time a frame waits for the transmitter before serialising",
+                labelnames=("link",),
+            ).labels(name)
+            if registry.enabled
+            else None
+        )
 
     def transmit(self, packet: "Packet", deliver_to: "Port") -> None:
         sim = self._link.sim
@@ -77,13 +91,24 @@ class _Direction:
         self.stats.tx_packets += 1
         self.stats.tx_bytes += wire_len
         if self._rate_bps is None:
-            finish = now
+            start = finish = now
         else:
             start = max(now, self._busy_until)
             finish = start + wire_len * 8.0 / self._rate_bps
             self._busy_until = finish
         self._queued += 1
         arrive = finish + self._delay
+        if self._h_queue_delay is not None:
+            self._h_queue_delay.observe(start - now)
+        if packet.trace_id is not None:
+            self._link.trace(
+                now,
+                "link.tx",
+                self._name,
+                trace=packet.trace_id,
+                queue_depth=self._queued,
+                queue_delay=start - now,
+            )
 
         lost = False
         if self._loss > 0.0:
@@ -181,6 +206,14 @@ class Link:
         if port is self.b:
             return self.a
         raise ValueError(f"port {port.full_name} is not an endpoint of {self.name}")
+
+    def directions(self) -> tuple:
+        """Both directions as ``(name, stats, queue_depth)`` triples
+        (used by the observability pull collector)."""
+        return (
+            (self._a_to_b._name, self._a_to_b.stats, self._a_to_b.queue_depth),
+            (self._b_to_a._name, self._b_to_a.stats, self._b_to_a.queue_depth),
+        )
 
     def direction_stats(self, src_port: "Port") -> LinkStats:
         if src_port is self.a:

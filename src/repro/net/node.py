@@ -69,6 +69,8 @@ class Port:
             return
         self.tx_packets += 1
         self.tx_bytes += packet.wire_len
+        if packet.trace_id is not None:
+            self._span(packet, "span.send", now)
         self.link.send_from(self, packet)
 
     def deliver(self, packet: "Packet") -> None:
@@ -78,10 +80,29 @@ class Port:
         for tap in self.taps:
             tap(packet)
         now = self.node.sim.now
+        # The span hop mirrors tcpdump-tap semantics exactly: it fires on
+        # every delivery, before the administrative port block is applied
+        # (taps above see blocked arrivals too).
+        if packet.trace_id is not None:
+            self._span(packet, "span.hop", now)
         if now < self.blocked_until:
             self.node.trace("port.blocked_drop", port=self.port_no, packet=packet)
             return
         self.node.receive(packet, self)
+
+    def _span(self, packet: "Packet", topic: str, now: float) -> None:
+        """Emit one per-hop span record for a trace-marked packet."""
+        bus = self.node.trace_bus
+        if bus is None:
+            return
+        bus.emit(
+            now,
+            topic,
+            self.node.name,
+            trace=packet.trace_id,
+            port=self.port_no,
+            kind=type(packet.fields()[3]).__name__,
+        )
 
     def block_for(self, duration: float) -> None:
         """Administratively block this port for ``duration`` seconds."""

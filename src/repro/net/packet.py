@@ -479,7 +479,7 @@ class Packet:
     """
 
     __slots__ = ("_eth", "_vlan", "_ip", "_l4", "_payload", "meta",
-                 "_wire", "_snap", "_cow")
+                 "_wire", "_snap", "_cow", "trace_id")
 
     def __init__(
         self,
@@ -504,6 +504,10 @@ class Packet:
         # analogue of the in_port field of an OpenFlow Packet-in).  Never
         # serialised, never part of equality, never survives copy().
         self.meta: Optional[dict] = None
+        # Packet-lifecycle span id (repro.obs.spans).  Unlike ``meta`` it
+        # DOES survive copy(): hub fan-out copies belong to the injected
+        # packet's trajectory.  Never serialised, never part of equality.
+        self.trace_id: Optional[int] = None
 
     # ------------------------------------------------------------------
     # header access (copy-on-write aware)
@@ -857,6 +861,7 @@ class Packet:
         new._l4 = l4
         new._payload = self._payload
         new.meta = None
+        new.trace_id = self.trace_id
         new._cow = cow
         self._cow |= cow
         if self._wire is not None and self._cache_valid():

@@ -30,6 +30,9 @@ class Network:
         # adjacency[(a, b)] -> port on a that faces b (first such link wins)
         self._adjacency: Dict[Tuple[str, str], Port] = {}
         self._host_count = 0
+        # Optional packet-lifecycle tracer; installed by PacketTracer.attach()
+        # and propagated to hosts created afterwards.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # node management
@@ -69,6 +72,7 @@ class Network:
             recv_cost_per_byte=recv_cost_per_byte,
             promiscuous=promiscuous,
         )
+        host.tracer = self.tracer
         self.add_node(host)
         return host
 

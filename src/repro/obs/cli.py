@@ -1,0 +1,140 @@
+"""``python -m repro obs`` — observability subcommands.
+
+    python -m repro obs summary [--quick] [--report out.json]
+    python -m repro obs dump --scenario central3 -o trace.jsonl
+    python -m repro obs diff baseline.json current.json
+
+``summary`` runs the instrumented Figure 5 workload and prints per-link
+and per-compare metrics (optionally saving the RunReport JSON and a
+Prometheus text snapshot).  ``dump`` writes the retained trace records
+of one instrumented scenario as JSON lines.  ``diff`` compares two run
+reports under regression watch rules and exits non-zero when a watched
+counter breaches its threshold — this is the CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    from repro.obs.summary import build_run_report, render_summary
+
+    report, runs = build_run_report(
+        quick=args.quick,
+        seed=args.seed,
+        sample_rate=args.sample,
+        duration=args.duration,
+    )
+    print(render_summary(report))
+    if args.report:
+        report.save(args.report)
+        print(f"\n[run report written to {args.report}]")
+    if args.prometheus:
+        with open(args.prometheus, "w", encoding="utf-8") as fh:
+            for run in runs:
+                fh.write(f"# scenario {run.variant}\n")
+                fh.write(run.registry.render_prometheus())
+        print(f"[prometheus snapshot written to {args.prometheus}]")
+    return 0
+
+
+def _cmd_dump(args: argparse.Namespace) -> int:
+    from repro.obs.report import dump_records_jsonl
+    from repro.obs.summary import run_instrumented_scenario
+
+    run = run_instrumented_scenario(
+        args.scenario,
+        duration=args.duration or 0.01,
+        seed=args.seed,
+        sample_rate=args.sample,
+    )
+    records = run.testbed.network.trace.select(topic=args.topic or None)
+    if args.output and args.output != "-":
+        with open(args.output, "w", encoding="utf-8") as fh:
+            count = dump_records_jsonl(records, fh)
+        print(f"[{count} records written to {args.output}]", file=sys.stderr)
+    else:
+        dump_records_jsonl(records, sys.stdout)
+    return 0
+
+
+def _load_watches(path: str):
+    """Watch rules from a JSON list of {pattern, max_ratio, max_increase}."""
+    from repro.obs.report import WatchRule
+
+    with open(path, "r", encoding="utf-8") as fh:
+        entries = json.load(fh)
+    return [WatchRule(**entry) for entry in entries]
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.obs.report import DEFAULT_WATCHES, RunReport, diff_reports
+
+    base = RunReport.load(args.base)
+    new = RunReport.load(args.new)
+    watches = _load_watches(args.watch) if args.watch else DEFAULT_WATCHES
+    findings = diff_reports(base, new, watches)
+    breached = [f for f in findings if f.breached]
+    shown = findings if args.verbose else breached
+    for finding in shown:
+        print(finding.describe())
+    print(
+        f"compared {len(findings)} watched samples "
+        f"({base.name!r} -> {new.name!r}): "
+        + (f"{len(breached)} BREACHED" if breached else "all within thresholds")
+    )
+    return 1 if breached else 0
+
+
+def obs_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs",
+        description="Observability: metric summaries, trace dumps, report diffs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_summary = sub.add_parser("summary", help="instrumented fig5 run + metrics")
+    p_summary.add_argument("--quick", action="store_true",
+                           help="fewer scenarios, shorter flows")
+    p_summary.add_argument("--seed", type=int, default=1)
+    p_summary.add_argument("--sample", type=float, default=1.0, metavar="RATE",
+                           help="packet-trace sampling rate in [0,1] (default 1.0)")
+    p_summary.add_argument("--duration", type=float, default=None, metavar="SECONDS",
+                           help="per-scenario flow duration")
+    p_summary.add_argument("--report", metavar="PATH",
+                           help="write the RunReport JSON here")
+    p_summary.add_argument("--prometheus", metavar="PATH",
+                           help="write a Prometheus text snapshot here")
+    p_summary.set_defaults(func=_cmd_summary)
+
+    p_dump = sub.add_parser("dump", help="dump trace records as JSON lines")
+    p_dump.add_argument("--scenario", default="central3",
+                        help="testbed variant to run (default central3)")
+    p_dump.add_argument("--topic", default=None, metavar="TOPIC",
+                        help='exact topic or "prefix*" filter')
+    p_dump.add_argument("--seed", type=int, default=1)
+    p_dump.add_argument("--sample", type=float, default=1.0)
+    p_dump.add_argument("--duration", type=float, default=None)
+    p_dump.add_argument("-o", "--output", default="-", metavar="PATH",
+                        help="output file (default stdout)")
+    p_dump.set_defaults(func=_cmd_dump)
+
+    p_diff = sub.add_parser("diff", help="compare two run reports")
+    p_diff.add_argument("base", help="baseline RunReport JSON")
+    p_diff.add_argument("new", help="candidate RunReport JSON")
+    p_diff.add_argument("--watch", metavar="PATH",
+                        help="JSON list of watch rules (default: built-in set)")
+    p_diff.add_argument("-v", "--verbose", action="store_true",
+                        help="print non-breached findings too")
+    p_diff.set_defaults(func=_cmd_diff)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(obs_main())

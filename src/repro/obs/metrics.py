@@ -1,0 +1,397 @@
+"""Unified metrics model: counters, gauges and histograms with labels.
+
+The paper's evaluation is built entirely from measured rates, latencies
+and loss counts; this module gives every subsystem one vocabulary for
+those numbers.  Design constraints, in order:
+
+1. **near-zero cost when disabled** — the tier-1 suite and the hot-path
+   benchmarks run with metrics off, so a disabled registry hands out a
+   shared null instrument whose methods are no-ops, and hot paths that
+   bind instruments at construction time bind ``None`` and skip the call
+   entirely (one ``is not None`` test per packet);
+2. **deterministic snapshots** — all sample values derive from simulated
+   time and seeded RNG streams, so two runs of the same experiment
+   produce byte-identical flattened samples (the property the
+   ``repro obs diff`` CI gate relies on);
+3. **no dependencies** — rendering is Prometheus *text format* compatible
+   but nothing here imports outside the standard library.
+
+Naming scheme (see DESIGN.md "Observability"): ``<subsystem>_<what>_<unit>``
+with ``_total`` for monotone counters, e.g. ``link_tx_packets_total``,
+``compare_release_latency_seconds``.  Identity lives in labels
+(``{link="s1-r0", scenario="central3"}``), never in the metric name.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_INSTRUMENT",
+    "active_registry",
+    "set_active_registry",
+    "use_registry",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: default histogram buckets, in seconds — the testbed operates at
+#: microsecond granularity (per-packet costs of 4–42 us, RTTs of ~200 us)
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-6, 2e-6, 5e-6,
+    1e-5, 2e-5, 5e-5,
+    1e-4, 2e-4, 5e-4,
+    1e-3, 2e-3, 5e-3,
+    1e-2, 5e-2,
+)
+
+
+class MetricsError(Exception):
+    """Raised on inconsistent metric registration or label use."""
+
+
+def _label_key(labelnames: Sequence[str], values: Tuple[str, ...]) -> str:
+    """Stable flat sample key suffix: ``{a="x",b="y"}`` (sorted by name)."""
+    if not labelnames:
+        return ""
+    pairs = sorted(zip(labelnames, values))
+    return "{" + ",".join(f'{k}="{v}"' for k, v in pairs) + "}"
+
+
+class _NullInstrument:
+    """Shared no-op stand-in handed out by a disabled registry."""
+
+    __slots__ = ()
+
+    def labels(self, *values: object, **kv: object) -> "_NullInstrument":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricsError("counters cannot decrease")
+        self.value += amount
+
+    def sample(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A value that can go up and down, or be computed on demand."""
+
+    __slots__ = ("value", "_fn")
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self._fn: Optional[Callable[[], float]] = None
+
+    def set(self, value: float) -> None:
+        self._fn = None
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Pull-style gauge: ``fn`` is called at snapshot time."""
+        self._fn = fn
+
+    def sample(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self.value
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+    kind = "histogram"
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)  # +inf tail
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: upper bound of the bucket holding it."""
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen >= target:
+                return self.buckets[i] if i < len(self.buckets) else float("inf")
+        return float("inf")
+
+    def sample(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": round(self.sum, 12),
+            "buckets": {
+                ("+Inf" if i == len(self.buckets) else repr(self.buckets[i])): n
+                for i, n in enumerate(self.counts)
+                if n
+            },
+        }
+
+
+class _Family:
+    """One registered metric name; children are per-label-set instruments."""
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Tuple[str, ...],
+        factory: Callable[[], Any],
+        kind: str,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = labelnames
+        self.kind = kind
+        self._factory = factory
+        self._children: Dict[Tuple[str, ...], Any] = {}
+        if not labelnames:
+            self._children[()] = factory()
+
+    def labels(self, *values: object, **kv: object) -> Any:
+        if kv:
+            if values:
+                raise MetricsError("pass labels positionally or by name, not both")
+            try:
+                values = tuple(str(kv[name]) for name in self.labelnames)
+            except KeyError as exc:
+                raise MetricsError(f"{self.name}: missing label {exc}") from None
+        else:
+            values = tuple(str(v) for v in values)
+        if len(values) != len(self.labelnames):
+            raise MetricsError(
+                f"{self.name}: expected labels {self.labelnames}, got {values}"
+            )
+        child = self._children.get(values)
+        if child is None:
+            child = self._children[values] = self._factory()
+        return child
+
+    # Unlabelled families act as the instrument itself for convenience.
+    def _solo(self) -> Any:
+        if self.labelnames:
+            raise MetricsError(f"{self.name} requires labels {self.labelnames}")
+        return self._children[()]
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._solo().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        self._solo().set_function(fn)
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)
+
+    def items(self) -> Iterable[Tuple[str, Any]]:
+        for values in sorted(self._children):
+            yield _label_key(self.labelnames, values), self._children[values]
+
+
+class MetricsRegistry:
+    """Registry of metric families.
+
+    ``enabled=False`` turns every registration into the shared
+    :data:`NULL_INSTRUMENT`; callers that want to skip even the no-op
+    call in a hot loop should test :attr:`enabled` once at bind time and
+    keep ``None``.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._families: Dict[str, _Family] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def _register(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str],
+        factory: Callable[[], Any],
+        kind: str,
+    ) -> Any:
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        family = self._families.get(name)
+        if family is not None:
+            if family.kind != kind or family.labelnames != tuple(labelnames):
+                raise MetricsError(
+                    f"metric {name!r} re-registered with a different "
+                    f"type/labels ({family.kind}{family.labelnames} vs "
+                    f"{kind}{tuple(labelnames)})"
+                )
+            return family
+        family = _Family(name, help, tuple(labelnames), factory, kind)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Any:
+        return self._register(name, help, labelnames, Counter, "counter")
+
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Any:
+        return self._register(name, help, labelnames, Gauge, "gauge")
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Any:
+        return self._register(
+            name, help, labelnames, lambda: Histogram(buckets), "histogram"
+        )
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    def samples(self, extra_labels: Optional[Dict[str, str]] = None) -> Dict[str, Any]:
+        """Flat ``{name{labels}: value}`` snapshot.
+
+        Scalars map to floats; histograms map to a ``{count, sum,
+        buckets}`` dict.  ``extra_labels`` are merged into every sample
+        key (used to namespace per-scenario registries in a RunReport).
+        """
+        out: Dict[str, Any] = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            for key, child in family.items():
+                if extra_labels:
+                    merged = dict(extra_labels)
+                    if key:
+                        for part in key[1:-1].split(","):
+                            k, _, v = part.partition("=")
+                            merged[k] = v.strip('"')
+                    key = "{" + ",".join(
+                        f'{k}="{v}"' for k, v in sorted(merged.items())
+                    ) + "}"
+                value = child.sample()
+                out[name + key] = (
+                    round(value, 9) if isinstance(value, float) else value
+                )
+        return out
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of the current state."""
+        lines: List[str] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for key, child in family.items():
+                if family.kind == "histogram":
+                    cumulative = 0
+                    for i, bound in enumerate(child.buckets + (float("inf"),)):
+                        cumulative += child.counts[i]
+                        le = "+Inf" if bound == float("inf") else repr(bound)
+                        sep = "," if key else "{"
+                        suffix = (key[:-1] + sep if key else "{") + f'le="{le}"' + "}"
+                        lines.append(f"{name}_bucket{suffix} {cumulative}")
+                    lines.append(f"{name}_sum{key} {child.sum:g}")
+                    lines.append(f"{name}_count{key} {child.count}")
+                else:
+                    lines.append(f"{name}{key} {child.sample():g}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def reset(self) -> None:
+        self._families.clear()
+
+
+# ----------------------------------------------------------------------
+# process-wide active registry
+# ----------------------------------------------------------------------
+# Components bind their instruments from the registry active at
+# *construction* time, so enable metrics (set an enabled registry active)
+# before building the network you want observed.  The default is a
+# disabled registry: the tier-1 suite and benchmarks pay nothing.
+_active = MetricsRegistry(enabled=False)
+_active_lock = threading.Lock()
+
+
+def active_registry() -> MetricsRegistry:
+    """The registry new components bind their instruments from."""
+    return _active
+
+
+def set_active_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the active registry; returns the previous one."""
+    global _active
+    with _active_lock:
+        previous = _active
+        _active = registry
+    return previous
+
+
+class use_registry:
+    """Context manager: activate ``registry`` for the enclosed block."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._registry = registry
+        self._previous: Optional[MetricsRegistry] = None
+
+    def __enter__(self) -> MetricsRegistry:
+        self._previous = set_active_registry(self._registry)
+        return self._registry
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._previous is not None
+        set_active_registry(self._previous)

@@ -1,0 +1,352 @@
+"""Run reports: deterministic JSON snapshots of one experiment run.
+
+A :class:`RunReport` bundles everything the CI regression gate and a
+human reader need from a run: the flattened metrics snapshot, the
+experiment records, packet-lifecycle span statistics, and farm progress.
+Every value in a report derives from simulated time and seeded RNG
+streams, so the same experiment at the same seed produces an identical
+report — which is what lets ``repro obs diff`` compare a fresh run
+against a checked-in baseline and fail loudly when a watched counter
+drifts.
+
+The module also hosts the pull side of the metrics model:
+:func:`collect_network` walks a finished network once and turns the
+plain per-component counters (link stats, switch stats, flow-table
+lookup counters, hub/host counters, simulator bookkeeping) into
+registry samples.  Push instruments (latency histograms) already live
+in the registry; pull keeps the per-packet hot paths free of metric
+calls for everything countable after the fact.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "RunReport",
+    "WatchRule",
+    "DEFAULT_WATCHES",
+    "DiffFinding",
+    "collect_network",
+    "diff_reports",
+    "dump_records_jsonl",
+    "sanitise_value",
+]
+
+REPORT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# pull collection
+# ----------------------------------------------------------------------
+def collect_network(
+    network,
+    registry: MetricsRegistry,
+    compares: Iterable = (),
+) -> None:
+    """Pull end-of-run counters from ``network`` into ``registry``.
+
+    Everything is duck-typed: any node exposing a recognised shape
+    (``stats.as_dict`` + ``table.lookup_stats`` for switches,
+    ``duplicated``/``merged`` for hubs, ``rx_dropped`` for hosts)
+    contributes samples.  Call once per run on a registry dedicated to
+    the snapshot — the counters are absolute values, not increments.
+    """
+    sim = network.sim
+    registry.counter(
+        "sim_events_processed_total", "events executed by the simulator"
+    ).inc(sim.events_processed)
+    registry.gauge(
+        "sim_pending_events_peak", "high-water mark of the event queue"
+    ).set(sim.peak_pending_events)
+    registry.gauge("sim_time_seconds", "simulated clock at snapshot").set(sim.now)
+
+    trace = getattr(network, "trace", None)
+    if trace is not None:
+        registry.counter(
+            "trace_records_retained_total", "records retained by the trace bus"
+        ).inc(len(trace.records))
+        registry.counter(
+            "trace_records_dropped_total", "records lost to retention saturation"
+        ).inc(trace.dropped_count)
+
+    c_tx = registry.counter(
+        "link_tx_packets_total", "frames handed to a link transmitter",
+        labelnames=("link",),
+    )
+    c_txb = registry.counter(
+        "link_tx_bytes_total", "wire bytes handed to a link transmitter",
+        labelnames=("link",),
+    )
+    c_delivered = registry.counter(
+        "link_delivered_packets_total", "frames delivered to the far port",
+        labelnames=("link",),
+    )
+    c_qdrop = registry.counter(
+        "link_queue_drops_total", "frames dropped by the drop-tail queue",
+        labelnames=("link",),
+    )
+    c_ldrop = registry.counter(
+        "link_loss_drops_total", "frames dropped by random loss",
+        labelnames=("link",),
+    )
+    for link in getattr(network, "links", ()):
+        for name, stats, _depth in link.directions():
+            c_tx.labels(name).inc(stats.tx_packets)
+            c_txb.labels(name).inc(stats.tx_bytes)
+            c_delivered.labels(name).inc(stats.delivered_packets)
+            c_qdrop.labels(name).inc(stats.queue_drops)
+            c_ldrop.labels(name).inc(stats.loss_drops)
+
+    for node in network.nodes.values():
+        name = node.name
+        stats = getattr(node, "stats", None)
+        table = getattr(node, "table", None)
+        if stats is not None and hasattr(stats, "as_dict") and table is not None:
+            for key, value in stats.as_dict().items():
+                registry.counter(
+                    f"switch_{key}_total", "switch datapath counter",
+                    labelnames=("switch",),
+                ).labels(name).inc(value)
+            lookup = table.lookup_stats()
+            occupancy = lookup.pop("entries")
+            for key, value in lookup.items():
+                registry.counter(
+                    f"flowtable_{key}_total", "flow-table lookup-path counter",
+                    labelnames=("switch",),
+                ).labels(name).inc(value)
+            registry.gauge(
+                "flowtable_entries", "installed flow entries",
+                labelnames=("switch",),
+            ).labels(name).set(occupancy)
+        if hasattr(node, "duplicated") and hasattr(node, "merged"):
+            registry.counter(
+                "hub_duplicated_total", "copies fanned out by a hub",
+                labelnames=("hub",),
+            ).labels(name).inc(node.duplicated)
+            registry.counter(
+                "hub_merged_total", "frames merged upstream by a hub",
+                labelnames=("hub",),
+            ).labels(name).inc(node.merged)
+        if hasattr(node, "rx_dropped"):
+            registry.counter(
+                "host_rx_dropped_total", "frames dropped by a full receive queue",
+                labelnames=("host",),
+            ).labels(name).inc(node.rx_dropped)
+            registry.counter(
+                "host_rx_foreign_total", "frames addressed to someone else",
+                labelnames=("host",),
+            ).labels(name).inc(node.rx_foreign)
+
+    for core in compares:
+        if core is None:
+            continue
+        cname = core.name
+        for key, value in core.stats.as_dict().items():
+            registry.counter(
+                f"compare_{key}_total", "compare element counter",
+                labelnames=("compare",),
+            ).labels(cname).inc(value)
+        registry.gauge(
+            "compare_buffered_entries", "vote-book entries still buffered",
+            labelnames=("compare",),
+        ).labels(cname).set(len(core.book))
+
+
+# ----------------------------------------------------------------------
+# the report itself
+# ----------------------------------------------------------------------
+@dataclass
+class RunReport:
+    """One run's worth of observability output, JSON-serialisable."""
+
+    name: str
+    meta: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    spans: Dict[str, Any] = field(default_factory=dict)
+    farm: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": REPORT_VERSION,
+            "name": self.name,
+            "meta": self.meta,
+            "metrics": self.metrics,
+            "records": self.records,
+            "spans": self.spans,
+            "farm": self.farm,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunReport":
+        version = data.get("version", REPORT_VERSION)
+        if version > REPORT_VERSION:
+            raise ValueError(f"run report version {version} is newer than {REPORT_VERSION}")
+        return cls(
+            name=data.get("name", ""),
+            meta=dict(data.get("meta", {})),
+            metrics=dict(data.get("metrics", {})),
+            records=list(data.get("records", [])),
+            spans=dict(data.get("spans", {})),
+            farm=data.get("farm"),
+        )
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path) -> "RunReport":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+    def counter_value(self, key: str) -> float:
+        """Scalar value of one sample key (histograms yield their count)."""
+        value = self.metrics.get(key, 0.0)
+        if isinstance(value, dict):
+            return float(value.get("count", 0))
+        return float(value)
+
+
+# ----------------------------------------------------------------------
+# diffing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WatchRule:
+    """A regression watch over metric sample keys.
+
+    ``pattern`` is an ``fnmatch`` glob over the full flattened sample key
+    (name plus labels).  A matched value regresses when it exceeds both
+    ``base * max_ratio`` and ``base + max_increase`` — the absolute slack
+    keeps tiny baselines (0 or 1 drops) from tripping on noise, the ratio
+    keeps large baselines honest.
+    """
+
+    pattern: str
+    max_ratio: float = 1.25
+    max_increase: float = 0.0
+    note: str = ""
+
+    def breached(self, base: float, new: float) -> bool:
+        return new > base * self.max_ratio and new > base + self.max_increase
+
+
+#: watches applied by ``repro obs diff`` when none are supplied: the
+#: counters whose growth historically signals a real regression.
+DEFAULT_WATCHES = (
+    WatchRule("flowtable_scan_steps_total*", max_ratio=1.25, max_increase=64.0,
+              note="wildcard scan work per lookup crept up (index regression?)"),
+    WatchRule("flowtable_lookups_total*", max_ratio=1.5, max_increase=256.0,
+              note="more lookups for the same workload"),
+    WatchRule("link_queue_drops_total*", max_ratio=1.2, max_increase=16.0,
+              note="drop-tail losses grew"),
+    WatchRule("switch_dropped_service_queue_total*", max_ratio=1.2, max_increase=16.0,
+              note="switch service queue overflowed more often"),
+    WatchRule("compare_queue_drops_total*", max_ratio=1.2, max_increase=16.0,
+              note="compare processor queue overflowed more often"),
+    WatchRule("compare_expired_unreleased_total*", max_ratio=1.25, max_increase=16.0,
+              note="more packets timed out without reaching quorum"),
+    WatchRule("host_rx_dropped_total*", max_ratio=1.2, max_increase=16.0,
+              note="host receive queues overflowed more often"),
+    WatchRule("sim_events_processed_total*", max_ratio=1.3, max_increase=4096.0,
+              note="event count blew up for the same workload"),
+)
+
+
+@dataclass
+class DiffFinding:
+    """One watched sample key's base-vs-new comparison."""
+
+    key: str
+    base: float
+    new: float
+    rule: WatchRule
+    breached: bool
+
+    def describe(self) -> str:
+        status = "FAIL" if self.breached else "ok"
+        line = f"[{status}] {self.key}: {self.base:g} -> {self.new:g}"
+        if self.breached and self.rule.note:
+            line += f"  ({self.rule.note})"
+        return line
+
+
+def diff_reports(
+    base: RunReport,
+    new: RunReport,
+    watches: Iterable[WatchRule] = DEFAULT_WATCHES,
+) -> List[DiffFinding]:
+    """Compare two reports under the given watches.
+
+    Every sample key present in either report is tested against the
+    first watch whose pattern matches it; keys nothing watches are
+    ignored.  Findings are returned for all watched keys (breached or
+    not) so callers can render the full comparison.
+    """
+    watches = list(watches)
+    findings: List[DiffFinding] = []
+    keys = sorted(set(base.metrics) | set(new.metrics))
+    for key in keys:
+        for rule in watches:
+            if fnmatchcase(key, rule.pattern):
+                base_v = base.counter_value(key)
+                new_v = new.counter_value(key)
+                findings.append(
+                    DiffFinding(
+                        key=key,
+                        base=base_v,
+                        new=new_v,
+                        rule=rule,
+                        breached=rule.breached(base_v, new_v),
+                    )
+                )
+                break
+    return findings
+
+
+# ----------------------------------------------------------------------
+# JSONL trace dumps
+# ----------------------------------------------------------------------
+def sanitise_value(value: Any) -> Any:
+    """Make one trace-record data value JSON-safe.
+
+    Packets collapse to their one-line ``summary()``; anything else
+    non-JSON falls back to ``repr``.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    summary = getattr(value, "summary", None)
+    if callable(summary):
+        return summary()
+    if isinstance(value, (list, tuple)):
+        return [sanitise_value(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): sanitise_value(v) for k, v in value.items()}
+    return repr(value)
+
+
+def dump_records_jsonl(records: Iterable, fh) -> int:
+    """Write trace records as JSON lines; returns the line count."""
+    count = 0
+    for record in records:
+        fh.write(
+            json.dumps(
+                {
+                    "time": record.time,
+                    "topic": record.topic,
+                    "source": record.source,
+                    "data": {k: sanitise_value(v) for k, v in record.data.items()},
+                },
+                sort_keys=True,
+            )
+        )
+        fh.write("\n")
+        count += 1
+    return count

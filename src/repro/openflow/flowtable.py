@@ -100,6 +100,14 @@ class FlowTable:
         self._exact: Dict[tuple, List[FlowEntry]] = {}
         # Everything else, rank-sorted for the early-exit scan.
         self._wildcard: List[FlowEntry] = []
+        # Lookup-path counters (plain ints: incremented per packet, read
+        # by the observability pull collector).  ``scan_steps`` counts
+        # wildcard entries examined — the quantity the index exists to
+        # minimise, and the one the CI regression watch monitors.
+        self.lookups = 0
+        self.index_hits = 0
+        self.scan_steps = 0
+        self.misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -140,6 +148,7 @@ class FlowTable:
 
     def lookup(self, packet: Packet, in_port: int, now: float) -> Optional[FlowEntry]:
         """Highest-priority live entry matching the packet, else None."""
+        self.lookups += 1
         best: Optional[FlowEntry] = None
         best_rank: Optional[Tuple[int, int]] = None
         if self._exact:
@@ -154,17 +163,34 @@ class FlowTable:
                     if best_rank is None or rank < best_rank:
                         best, best_rank = entry, rank
                     break
+        indexed = best is not None
         for entry in self._wildcard:  # rank-sorted: stop once outranked
             if best_rank is not None and _rank(entry) > best_rank:
                 break
+            self.scan_steps += 1
             if entry.expired(now):
                 continue
             if entry.match.matches(packet, in_port):
                 best = entry
+                indexed = False
                 break
         if best is not None:
+            if indexed:
+                self.index_hits += 1
             best.record_hit(packet, now)
+        else:
+            self.misses += 1
         return best
+
+    def lookup_stats(self) -> Dict[str, int]:
+        """Lookup-path counters plus current occupancy."""
+        return {
+            "lookups": self.lookups,
+            "index_hits": self.index_hits,
+            "scan_steps": self.scan_steps,
+            "misses": self.misses,
+            "entries": len(self._entries),
+        }
 
     def remove(
         self,

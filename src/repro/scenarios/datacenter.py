@@ -22,7 +22,7 @@ Three scenarios, exactly as Section VI runs them:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.adversary.behaviors import match_dst_mac
 from repro.adversary.mirror import MirrorAndDropBehavior
@@ -33,6 +33,7 @@ from repro.net.packet import Icmp, Packet
 from repro.net.topology import Network
 from repro.openflow.actions import Output
 from repro.openflow.match import Match
+from repro.obs.spans import PacketTracer
 from repro.openflow.switch import OpenFlowSwitch
 from repro.traffic.ping import Pinger
 
@@ -61,6 +62,10 @@ class CaseStudyResult:
     requests_at_fw1: int
     responses_at_vm1: int
     screening: ScreeningReport
+    #: the same screening, derived from packet-lifecycle spans instead of
+    #: taps; the two must agree (tested) — spans are the cheaper substrate
+    #: because they can be sampled
+    span_screening: Optional[ScreeningReport] = None
     compare_released: int = 0
     compare_expired_unreleased: int = 0
     single_source_alarms: int = 0
@@ -174,6 +179,22 @@ class DatacenterCaseStudy:
         report.stray_nodes.sort()
         return report
 
+    @staticmethod
+    def screening_from_spans(tracer: PacketTracer, benign: tuple) -> ScreeningReport:
+        """The tap screening, re-expressed over packet-lifecycle spans.
+
+        ``span.hop`` fires on every port delivery before the
+        administrative block is applied — exactly where the tcpdump
+        taps sit — so counting ICMP hop events per node reproduces the
+        tap counters for every traced packet.
+        """
+        counters: Dict[str, int] = {}
+        for spans in tracer.trajectories().values():
+            for record in spans:
+                if record.topic == "span.hop" and record.data.get("kind") == "Icmp":
+                    counters[record.source] = counters.get(record.source, 0) + 1
+        return DatacenterCaseStudy._screening(counters, benign)
+
     # ------------------------------------------------------------------
     # the three scenario runs
     # ------------------------------------------------------------------
@@ -251,6 +272,8 @@ class DatacenterCaseStudy:
     ) -> CaseStudyResult:
         counters: Dict[str, int] = {}
         self._install_taps(net, counters)
+        tracer = PacketTracer(net.trace, sample_rate=1.0)
+        tracer.attach(net)
         fw1, vm1 = net.host("fw1"), net.host("vm1")
         requests_at_fw1 = [0]
 
@@ -274,4 +297,5 @@ class DatacenterCaseStudy:
             requests_at_fw1=requests_at_fw1[0],
             responses_at_vm1=pinger.received,
             screening=self._screening(counters, benign),
+            span_screening=self.screening_from_spans(tracer, benign),
         )

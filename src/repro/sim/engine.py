@@ -87,6 +87,7 @@ class Simulator:
         self._seq = 0
         self._live = 0  # queued, non-cancelled events (O(1) pending_events)
         self._dead = 0  # cancelled events still sitting in the heap
+        self._peak_pending = 0  # high-water mark of _live (telemetry)
         self._running = False
         self._events_processed = 0
         self._stop_requested = False
@@ -127,6 +128,8 @@ class Simulator:
         heapq.heappush(self._queue, (when, self._seq, event))
         self._seq += 1
         self._live += 1
+        if self._live > self._peak_pending:
+            self._peak_pending = self._live
         return EventHandle(event, self)
 
     # ------------------------------------------------------------------
@@ -185,6 +188,11 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of queued (non-cancelled) events."""
         return self._live
+
+    @property
+    def peak_pending_events(self) -> int:
+        """High-water mark of the pending-event count (telemetry)."""
+        return self._peak_pending
 
     def _note_cancel(self) -> None:
         """Bookkeeping for an EventHandle.cancel(); may compact the heap."""

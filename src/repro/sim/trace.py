@@ -4,7 +4,8 @@ The case study in Section VI of the paper verifies routing behaviour with
 ``tcpdump`` taps on every interface adjacent to the benign path plus flow
 table counters.  :class:`TraceBus` is the simulator-native equivalent: any
 component can ``emit`` a typed record, and observers (tests, the case-study
-screening harness, debugging tools) subscribe by topic.
+screening harness, the packet-lifecycle tracer, debugging tools) subscribe
+by topic.
 """
 
 from __future__ import annotations
@@ -30,15 +31,40 @@ class TraceBus:
     """Publish/subscribe bus for simulation telemetry.
 
     Topics are plain strings (``"link.drop"``, ``"compare.release"``,
-    ``"alarm"`` ...).  A listener subscribed to ``""`` receives everything.
-    Records are also retained in memory (bounded) for post-run assertions.
+    ``"alarm"`` ...).  Subscriptions come in three shapes:
 
-    When retention saturates (``max_records`` reached), further records
-    are still delivered to listeners but no longer retained: a one-time
-    ``trace.saturation`` warning record is appended (so the retained log
-    is at most ``max_records`` + 1 long) and :attr:`dropped_count`
-    counts every record lost to truncation, so tests can detect a
-    truncated telemetry log instead of silently passing on it.
+    * an exact topic (``"link.drop"``);
+    * a topic-prefix pattern ending in ``*`` (``"link.*"`` receives
+      ``link.drop``, ``link.tx`` ...; ``"link*"`` works the same way —
+      everything before the ``*`` is the prefix);
+    * ``""`` (receives everything).
+
+    A record is delivered at most once per subscribed listener entry, in
+    registration-shape order: exact listeners first, then prefix
+    listeners, then catch-all listeners.
+
+    Records are also retained in memory (bounded) for post-run
+    assertions, with a per-topic index so :meth:`select`/:meth:`count`
+    on an exact topic do not scan the full retained list.
+
+    **Saturation contract.**  When retention saturates (``max_records``
+    reached), further records are still *delivered* to listeners but no
+    longer retained.  Exactly once, a ``trace.saturation`` warning record
+    is appended to the retained log (so the log is at most
+    ``max_records + 1`` long) and dispatched to listeners, and
+    :attr:`dropped_count` counts every record lost to truncation.  Note
+    the deliberate ordering asymmetry, which tests rely on:
+
+    * **listeners** observe every record in emit order, with the warning
+      injected immediately *before* the first dropped record (the
+      warning announces the drop that is about to be delivered);
+    * **retention** ends with the warning as its final entry — the first
+      dropped record itself is *not* retained (that is what "dropped"
+      means), so the retained log and the listener stream intentionally
+      diverge from the first drop onward.
+
+    ``clear()`` resets retention, the topic index, ``dropped_count`` and
+    re-arms the one-time warning.
     """
 
     #: topic of the one-time retention-saturation warning record
@@ -46,17 +72,25 @@ class TraceBus:
 
     def __init__(self, retain: bool = True, max_records: int = 1_000_000) -> None:
         self._listeners: Dict[str, List[Listener]] = {}
+        self._prefix_listeners: Dict[str, List[Listener]] = {}
         self._retain = retain
         self._max_records = max_records
         self._saturation_warned = False
         self.dropped_count = 0
         self.records: List[TraceRecord] = []
+        self._by_topic: Dict[str, List[TraceRecord]] = {}
 
     def subscribe(self, topic: str, listener: Listener) -> None:
-        self._listeners.setdefault(topic, []).append(listener)
+        """Subscribe to an exact topic, a ``prefix*`` pattern, or ``""``."""
+        if topic.endswith("*"):
+            self._prefix_listeners.setdefault(topic[:-1], []).append(listener)
+        else:
+            self._listeners.setdefault(topic, []).append(listener)
 
     def unsubscribe(self, topic: str, listener: Listener) -> None:
-        listeners = self._listeners.get(topic, [])
+        table = self._prefix_listeners if topic.endswith("*") else self._listeners
+        key = topic[:-1] if topic.endswith("*") else topic
+        listeners = table.get(key, [])
         if listener in listeners:
             listeners.remove(listener)
 
@@ -70,7 +104,7 @@ class TraceBus:
         record = TraceRecord(time=time, topic=topic, source=source, data=data)
         if self._retain:
             if len(self.records) < self._max_records:
-                self.records.append(record)
+                self._retain_record(record)
             else:
                 self.dropped_count += 1
                 if not self._saturation_warned:
@@ -84,36 +118,65 @@ class TraceBus:
                             "first_dropped_topic": topic,
                         },
                     )
-                    self.records.append(warning)
+                    self._retain_record(warning)
                     self._dispatch(warning)
         self._dispatch(record)
 
+    def _retain_record(self, record: TraceRecord) -> None:
+        self.records.append(record)
+        bucket = self._by_topic.get(record.topic)
+        if bucket is None:
+            bucket = self._by_topic[record.topic] = []
+        bucket.append(record)
+
     def _dispatch(self, record: TraceRecord) -> None:
-        for listener in self._listeners.get(record.topic, ()):
+        topic = record.topic
+        for listener in self._listeners.get(topic, ()):
             listener(record)
+        if self._prefix_listeners:
+            for prefix, listeners in self._prefix_listeners.items():
+                if topic.startswith(prefix):
+                    for listener in listeners:
+                        listener(record)
         for listener in self._listeners.get("", ()):
             listener(record)
 
     # ------------------------------------------------------------------
     # query helpers (used heavily by tests and the case-study screening)
     # ------------------------------------------------------------------
+    def topics(self) -> List[str]:
+        """Topics present in the retained log, sorted."""
+        return sorted(self._by_topic)
+
     def select(
         self,
         topic: Optional[str] = None,
         source: Optional[str] = None,
     ) -> List[TraceRecord]:
-        """Return retained records filtered by exact topic and/or source."""
-        out = self.records
-        if topic is not None:
-            out = [r for r in out if r.topic == topic]
+        """Return retained records filtered by topic and/or source.
+
+        ``topic`` may be exact (served from the per-topic index) or a
+        ``prefix*`` pattern (scans the retained list to preserve global
+        emission order across the matching topics).
+        """
+        if topic is None:
+            out: List[TraceRecord] = self.records
+        elif topic.endswith("*"):
+            prefix = topic[:-1]
+            out = [r for r in self.records if r.topic.startswith(prefix)]
+        else:
+            out = self._by_topic.get(topic, [])
         if source is not None:
-            out = [r for r in out if r.source == source]
+            return [r for r in out if r.source == source]
         return list(out)
 
     def count(self, topic: Optional[str] = None, source: Optional[str] = None) -> int:
+        if source is None and topic is not None and not topic.endswith("*"):
+            return len(self._by_topic.get(topic, ()))
         return len(self.select(topic=topic, source=source))
 
     def clear(self) -> None:
         self.records.clear()
+        self._by_topic.clear()
         self.dropped_count = 0
         self._saturation_warned = False

@@ -153,6 +153,47 @@ class TestHealthMonitor:
         text = monitor.summary()
         assert "branch 2" in text and "x3" in text
 
+    def test_unknown_alarm_kind_rolls_up_as_warning(self):
+        # Kinds outside SEVERITIES must not crash the rollup; any alarm
+        # makes a branch at least a warning, but never critical.
+        sink = AlarmSink()
+        monitor = HealthMonitor()
+        monitor.watch(sink)
+        sink.raise_alarm(1.0, "future_alarm_kind", "cmp", branch=3)
+        monitor.refresh()
+        assert monitor.branch(3).worst_severity == "warning"
+        assert monitor.suspects() == [3]
+        assert "branch 3: WARNING" in monitor.summary()
+
+    def test_unknown_kind_does_not_mask_critical(self):
+        sink = AlarmSink()
+        monitor = HealthMonitor()
+        monitor.watch(sink)
+        sink.raise_alarm(1.0, "future_alarm_kind", "cmp", branch=0)
+        sink.raise_alarm(2.0, ALARM_DOS_SUSPECTED, "cmp", branch=0)
+        monitor.refresh()
+        assert monitor.branch(0).worst_severity == "critical"
+
+    def test_suspects_break_severity_ties_by_alarm_count(self):
+        sink = AlarmSink()
+        monitor = HealthMonitor()
+        monitor.watch(sink)
+        sink.raise_alarm(1.0, ALARM_SINGLE_SOURCE_PACKET, "cmp", branch=0)
+        for _ in range(3):
+            sink.raise_alarm(1.0, ALARM_SINGLE_SOURCE_PACKET, "cmp", branch=1)
+        monitor.refresh()
+        assert monitor.suspects() == [1, 0]
+
+    def test_unattributed_alarms_tracked_in_summary_and_latency(self):
+        sink = AlarmSink()
+        monitor = HealthMonitor()
+        monitor.watch(sink)
+        sink.raise_alarm(2.0, ALARM_DOS_SUSPECTED, "cmp")  # no branch
+        monitor.refresh()
+        assert monitor.suspects() == []
+        assert "unattributed alarms: 1" in monitor.summary()
+        assert monitor.detection_latency(1.0) == pytest.approx(1.0)
+
     def test_end_to_end_with_combiner(self):
         from repro.adversary import PayloadCorruptionBehavior
         from repro.core import CombinerChainParams, CompareConfig, build_combiner_chain

@@ -148,3 +148,98 @@ class TestTraceBus:
         for i in range(4):
             bus.emit(float(i), "t", "s")
         assert bus.count(TraceBus.SATURATION_TOPIC) == 1
+
+    def test_clear_resets_topic_index(self):
+        bus = TraceBus()
+        bus.emit(0.0, "a", "s")
+        bus.clear()
+        assert bus.select(topic="a") == []
+        assert bus.count("a") == 0
+        assert bus.topics() == []
+        bus.emit(1.0, "a", "s")
+        assert bus.count("a") == 1
+
+
+class TestTraceBusPrefixSubscriptions:
+    def test_prefix_subscription_matches_topic_family(self):
+        bus = TraceBus()
+        seen = []
+        bus.subscribe("link.*", seen.append)
+        bus.emit(0.0, "link.drop", "l1")
+        bus.emit(0.0, "link.tx", "l1")
+        bus.emit(0.0, "compare.release", "c")
+        assert [r.topic for r in seen] == ["link.drop", "link.tx"]
+
+    def test_prefix_without_dot_matches_same_way(self):
+        bus = TraceBus()
+        seen = []
+        bus.subscribe("link*", seen.append)
+        bus.emit(0.0, "link.drop", "l1")
+        bus.emit(0.0, "linkish", "x")
+        assert len(seen) == 2
+
+    def test_exact_and_prefix_and_catchall_each_fire_once(self):
+        bus = TraceBus()
+        order = []
+        bus.subscribe("link.drop", lambda r: order.append("exact"))
+        bus.subscribe("link.*", lambda r: order.append("prefix"))
+        bus.subscribe("", lambda r: order.append("all"))
+        bus.emit(0.0, "link.drop", "l1")
+        assert order == ["exact", "prefix", "all"]
+
+    def test_unsubscribe_prefix(self):
+        bus = TraceBus()
+        seen = []
+        bus.subscribe("link.*", seen.append)
+        bus.unsubscribe("link.*", seen.append)
+        bus.emit(0.0, "link.drop", "l1")
+        assert seen == []
+
+    def test_select_with_prefix_pattern_preserves_global_order(self):
+        bus = TraceBus()
+        bus.emit(0.0, "link.tx", "a")
+        bus.emit(1.0, "compare.release", "c")
+        bus.emit(2.0, "link.drop", "b")
+        out = bus.select(topic="link.*")
+        assert [(r.topic, r.source) for r in out] == [("link.tx", "a"), ("link.drop", "b")]
+
+    def test_count_with_prefix_pattern(self):
+        bus = TraceBus()
+        bus.emit(0.0, "link.tx", "a")
+        bus.emit(0.0, "link.drop", "a")
+        bus.emit(0.0, "other", "a")
+        assert bus.count("link.*") == 2
+
+    def test_indexed_select_matches_scan(self):
+        bus = TraceBus()
+        for i in range(20):
+            bus.emit(float(i), "a" if i % 3 else "b", f"s{i % 2}")
+        indexed = bus.select(topic="a")
+        scanned = [r for r in bus.records if r.topic == "a"]
+        assert indexed == scanned
+        assert bus.count("a") == len(scanned)
+        assert bus.topics() == ["a", "b"]
+
+
+class TestTraceBusSaturationContract:
+    def test_listener_stream_warning_precedes_first_dropped_record(self):
+        # Listeners see every record; the warning is injected immediately
+        # BEFORE the first dropped record (it announces the drop).
+        bus = TraceBus(max_records=2)
+        seen = []
+        bus.subscribe("", seen.append)
+        for i in range(4):
+            bus.emit(float(i), f"t{i}", "s")
+        topics = [r.topic for r in seen]
+        assert topics == ["t0", "t1", TraceBus.SATURATION_TOPIC, "t2", "t3"]
+
+    def test_retained_log_ends_with_warning_not_the_dropped_record(self):
+        # Retention diverges from the listener stream at the first drop:
+        # the warning is the final retained entry and the dropped record
+        # itself is gone.
+        bus = TraceBus(max_records=2)
+        for i in range(4):
+            bus.emit(float(i), f"t{i}", "s")
+        topics = [r.topic for r in bus.records]
+        assert topics == ["t0", "t1", TraceBus.SATURATION_TOPIC]
+        assert bus.dropped_count == 2
