@@ -31,6 +31,7 @@ from repro.analysis.report import (
 )
 from repro.analysis.runners import (
     paper_table1_values,
+    run_chaos_battery,
     run_fig4_tcp,
     run_fig5_udp,
     run_fig6_loss_correlation,
@@ -39,6 +40,9 @@ from repro.analysis.runners import (
     run_table1,
 )
 from repro.farm import FarmExecutor, FarmTaskError, ResultCache
+
+#: path of the --chaos spec file, set by main() before dispatch
+_CHAOS_SPEC: Optional[str] = None
 
 
 def _cmd_table1(quick: bool, farm: Optional[FarmExecutor]) -> list:
@@ -95,6 +99,30 @@ def _cmd_fig8(quick: bool, farm: Optional[FarmExecutor]) -> list:
                             "jitter ms", [(s, round(j, 5)) for s, j in points]))
         records.append({"scenario": scenario,
                         "points": [[s, round(j, 6)] for s, j in points]})
+    return records
+
+
+def _cmd_chaos(quick: bool, farm: Optional[FarmExecutor]) -> list:
+    from repro.chaos import FaultSchedule, builtin_battery
+
+    if _CHAOS_SPEC is not None:
+        schedules = [FaultSchedule.from_json_file(_CHAOS_SPEC).to_dict()]
+    else:
+        schedules = [s.to_dict() for s in builtin_battery().values()]
+    records = run_chaos_battery(
+        schedules=schedules,
+        duration=0.04 if quick else 0.06,
+        seeds=(1,) if quick else (1, 2),
+        farm=farm,
+    )
+    for r in records:
+        print(
+            f"chaos {r['schedule']} seed={r['seed']}: "
+            f"sent={r['sent']} received={r['received']} "
+            f"loss_rate={r['loss_rate']:.4f} faults={len(r['injections'])} "
+            f"quarantined={r['quarantined']} readmitted={r['readmitted']} "
+            f"post_quarantine_gaps={r['post_quarantine_gaps']}"
+        )
     return records
 
 
@@ -176,6 +204,7 @@ COMMANDS: Dict[str, Callable[[bool, Optional[FarmExecutor]], list]] = {
     "fig7": _cmd_fig7,
     "fig8": _cmd_fig8,
     "casestudy": _cmd_casestudy,
+    "chaos": _cmd_chaos,
     "virtualized": _cmd_virtualized,
 }
 
@@ -227,11 +256,19 @@ def main(argv=None) -> int:
              "work is invisible to the profiler)",
     )
     parser.add_argument(
+        "--chaos", default=None, metavar="SPEC.json",
+        help="FaultSchedule JSON for the `chaos` experiment (default: "
+             "the built-in battery)",
+    )
+    parser.add_argument(
         "--report", default=None, metavar="PATH",
         help="write a RunReport JSON (experiment records + farm progress) "
              "here after the run",
     )
     args = parser.parse_args(argv)
+
+    global _CHAOS_SPEC
+    _CHAOS_SPEC = args.chaos
 
     names = sorted(COMMANDS) if args.experiment == "all" else [args.experiment]
     all_records = []

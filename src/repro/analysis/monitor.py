@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.alarms import (
+    ALARM_BRANCH_QUARANTINED,
+    ALARM_BRANCH_READMITTED,
     ALARM_DOS_SUSPECTED,
     ALARM_MINORITY_DIVERGENCE,
     ALARM_ROUTER_UNAVAILABLE,
@@ -29,6 +31,10 @@ SEVERITIES = {
     ALARM_SPOOFED_BRANCH: "critical",
     ALARM_DOS_SUSPECTED: "critical",
     ALARM_ROUTER_UNAVAILABLE: "critical",
+    # Degraded mode: the compare keeps forwarding on the shrunken bundle
+    # but (at k=3) masks nothing until the branch is re-admitted.
+    ALARM_BRANCH_QUARANTINED: "critical",
+    ALARM_BRANCH_READMITTED: "warning",
 }
 
 

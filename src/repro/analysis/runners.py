@@ -340,6 +340,67 @@ def run_fig8_jitter(
 
 
 # ----------------------------------------------------------------------
+# Chaos battery: survivability under scheduled faults
+# ----------------------------------------------------------------------
+def specs_chaos(
+    schedules: List[Dict[str, Any]],
+    duration: float,
+    rate_mbps: float,
+    seeds: Tuple[int, ...],
+    params: Optional[TestbedParams],
+    variant: str = "central3",
+) -> List[RunSpec]:
+    """One spec per (schedule, seed): each is an independent chaos run,
+    so a battery shards across farm jobs like any figure."""
+    pd = params_to_dict(params)
+    return [
+        RunSpec(
+            "chaos.run",
+            {
+                "variant": variant,
+                "schedule": schedule,
+                "duration": duration,
+                "rate_mbps": rate_mbps,
+                "params": pd,
+            },
+            seed=seed,
+        )
+        for schedule in schedules
+        for seed in seeds
+    ]
+
+
+def merge_chaos(
+    specs: List[RunSpec], results: FarmResults
+) -> List[Dict[str, Any]]:
+    """Survivability records in spec order (schedule-major, seed-minor)."""
+    return [results[spec.key] for spec in specs]
+
+
+def run_chaos_battery(
+    schedules: Optional[List[Dict[str, Any]]] = None,
+    duration: float = 0.05,
+    rate_mbps: float = 20.0,
+    seeds: Tuple[int, ...] = (1, 2),
+    params: Optional[TestbedParams] = None,
+    variant: str = "central3",
+    farm: Optional[FarmExecutor] = None,
+) -> List[Dict[str, Any]]:
+    """Run a set of fault schedules against the combiner testbed.
+
+    ``schedules`` are FaultSchedule dicts (JSON form); defaults to the
+    built-in battery.  Returns one survivability record per
+    (schedule, seed), in deterministic spec order.
+    """
+    if schedules is None:
+        from repro.chaos import builtin_battery
+
+        schedules = [s.to_dict() for s in builtin_battery().values()]
+    specs = specs_chaos(schedules, duration, rate_mbps, seeds, params, variant)
+    return merge_chaos(specs, _run(farm, specs))
+
+
+# ----------------------------------------------------------------------
 # Table I: the three averages together
 # ----------------------------------------------------------------------
 def run_table1(

@@ -15,17 +15,20 @@ merge functions.
 
 from __future__ import annotations
 
-from dataclasses import asdict
+from dataclasses import asdict, replace
 from typing import Any, Dict, List, Optional
 
+from repro.chaos import ChaosEngine, FaultSchedule, QuarantineController
 from repro.farm.spec import register_runner
 from repro.scenarios.testbed import TestbedParams, build_testbed
 from repro.traffic.iperf import (
+    DRAIN_TIME,
     find_max_udp_rate,
     run_ping,
     run_tcp_flow,
     run_udp_flow,
 )
+from repro.traffic.udp import UdpReceiver, UdpSender
 
 
 def params_to_dict(params: Optional[TestbedParams]) -> Optional[Dict[str, Any]]:
@@ -105,6 +108,114 @@ def rtt_sample(
     """One sequence of ``count`` echo cycles; returns average RTT (ms)."""
     testbed = build_testbed(variant, params=params_from_dict(params), seed=seed)
     return run_ping(testbed.path(), count=count, interval=1e-3).avg_rtt_ms
+
+
+def chaos_aliases(testbed) -> Dict[str, str]:
+    """Schedule-target aliases for a combiner testbed: ``r{i}`` is branch
+    i's router, ``link_a{i}``/``link_b{i}`` its ingress/egress link."""
+    chain = testbed.chain
+    aliases: Dict[str, str] = {}
+    for i, router in enumerate(chain.routers):
+        aliases[f"r{i}"] = router.name
+        aliases[f"link_a{i}"] = f"{chain.endpoint_a.name}-{router.name}"
+        aliases[f"link_b{i}"] = f"{router.name}-{chain.endpoint_b.name}"
+    return aliases
+
+
+@register_runner("chaos.run")
+def chaos_run(
+    schedule: Dict[str, Any],
+    seed: int,
+    variant: str = "central3",
+    duration: float = 0.05,
+    rate_mbps: float = 20.0,
+    payload_size: int = 1470,
+    miss_threshold: int = 8,
+    probation_clean_target: int = 12,
+    buffer_timeout: float = 2e-3,
+    params: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One UDP flow through a combiner testbed under a fault schedule.
+
+    Returns the full survivability record: flow loss, the injected fault
+    timeline, quarantine/readmit transitions, and the post-quarantine
+    delivery gap count (the acceptance metric: a healthy self-healing
+    combiner shows ``post_quarantine_gaps == 0``).
+    """
+    base = replace(params_from_dict(params), compare_buffer_timeout=buffer_timeout)
+    testbed = build_testbed(variant, params=base, seed=seed)
+    net = testbed.network
+    core = testbed.compare_core
+    # Availability knobs are read dynamically by the compare, so tuning
+    # them post-build is safe (buffer_timeout is not: set above).
+    core.config.miss_threshold = miss_threshold
+    core.config.probation_clean_target = probation_clean_target
+
+    controller = QuarantineController(core, net.trace)
+    engine = ChaosEngine(
+        FaultSchedule.from_dict(schedule), net, aliases=chaos_aliases(testbed)
+    )
+    engine.arm()
+
+    warmup = 1e-3
+    dport = 5001
+    receiver = UdpReceiver(testbed.h2, dport)
+    sender = UdpSender(
+        testbed.h1,
+        dst_mac=testbed.h2.mac,
+        dst_ip=testbed.h2.ip,
+        dport=dport,
+        rate_bps=rate_mbps * 1e6,
+        payload_size=payload_size,
+        send_cost=base.udp_send_cost,
+    )
+    sender.start(duration, delay=warmup)
+    net.run(until=warmup + duration + DRAIN_TIME)
+    flow = receiver.result(sender, duration)
+    receiver.close()
+    controller.detach()
+
+    # Post-quarantine gap analysis: the sender paces deterministically
+    # (seq i departs at warmup + i * interval), so the datagrams offered
+    # after the first quarantine are exactly the seqs >= the cutoff.
+    quarantine_times = [
+        t["time"] for t in controller.transitions if t["event"] == "quarantine"
+    ]
+    post_quarantine_gaps = None
+    if quarantine_times:
+        first_q = min(quarantine_times)
+        seen = receiver.received_sequences()
+        interval = sender.interval
+        post = [
+            s for s in range(sender.sent) if warmup + s * interval >= first_q
+        ]
+        post_quarantine_gaps = sum(1 for s in post if s not in seen)
+
+    alarm_counts: Dict[str, int] = {}
+    for alarm in testbed.chain.alarms.alarms:
+        alarm_counts[alarm.kind] = alarm_counts.get(alarm.kind, 0) + 1
+
+    return {
+        "variant": variant,
+        "schedule": engine.schedule.name,
+        "seed": seed,
+        "sent": flow.sent,
+        "received": flow.received_unique,
+        "duplicates": flow.duplicates,
+        "lost": flow.lost,
+        "loss_rate": flow.loss_rate,
+        "injections": engine.injections,
+        "transitions": controller.transitions,
+        "quarantined": sorted(
+            {t["branch"] for t in controller.transitions if t["event"] == "quarantine"}
+        ),
+        "readmitted": sorted(
+            {t["branch"] for t in controller.transitions if t["event"] == "readmit"}
+        ),
+        "post_quarantine_gaps": post_quarantine_gaps,
+        "alarms": alarm_counts,
+        "compare": core.stats.as_dict(),
+    }
 
 
 @register_runner("fig8.jitter")

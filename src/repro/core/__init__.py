@@ -15,6 +15,8 @@ The primary contribution of the paper, as a library:
 """
 
 from repro.core.alarms import (
+    ALARM_BRANCH_QUARANTINED,
+    ALARM_BRANCH_READMITTED,
     ALARM_DOS_SUSPECTED,
     ALARM_MINORITY_DIVERGENCE,
     ALARM_ROUTER_UNAVAILABLE,
@@ -72,6 +74,8 @@ from repro.core.virtual import (
 from repro.core.votes import VoteBook, VoteEntry, VoteOutcome
 
 __all__ = [
+    "ALARM_BRANCH_QUARANTINED",
+    "ALARM_BRANCH_READMITTED",
     "ALARM_DOS_SUSPECTED",
     "ALARM_MINORITY_DIVERGENCE",
     "ALARM_ROUTER_UNAVAILABLE",

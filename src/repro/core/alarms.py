@@ -23,6 +23,11 @@ ALARM_DOS_SUSPECTED = "dos_suspected"
 ALARM_SINGLE_SOURCE_PACKET = "single_source_packet"
 ALARM_SPOOFED_BRANCH = "spoofed_branch"
 ALARM_MINORITY_DIVERGENCE = "minority_divergence"
+#: a branch was taken out of the vote (self-healing; Section V's
+#: "take the faulty router out of service", automated)
+ALARM_BRANCH_QUARANTINED = "branch_quarantined"
+#: a quarantined branch completed its probation window and rejoined
+ALARM_BRANCH_READMITTED = "branch_readmitted"
 
 
 @dataclass(frozen=True)

@@ -31,9 +31,11 @@ paper's C prototype) or to the control plane (a POX-style controller app,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, Optional, Sequence
+from typing import Callable, Dict, Hashable, List, Optional, Sequence
 
 from repro.core.alarms import (
+    ALARM_BRANCH_QUARANTINED,
+    ALARM_BRANCH_READMITTED,
     ALARM_DOS_SUSPECTED,
     ALARM_ROUTER_UNAVAILABLE,
     ALARM_SINGLE_SOURCE_PACKET,
@@ -81,6 +83,13 @@ class CompareConfig:
     block_duration: float = 50e-3
     #: consecutive released packets a branch may miss before the alarm
     miss_threshold: int = 10
+    #: consecutive clean (bit-identical, non-duplicate) copies a
+    #: quarantined branch must deliver before it is re-admitted
+    probation_clean_target: int = 12
+    #: smallest bundle the compare will degrade to; a quarantine request
+    #: that would leave fewer active branches is refused (below two
+    #: branches a "majority" stops meaning anything)
+    min_active_branches: int = 2
 
     def effective_quorum(self) -> int:
         if self.quorum is not None:
@@ -97,6 +106,10 @@ class CompareConfig:
             raise ValueError("buffer_timeout must be positive")
         if self.cache_capacity < 1:
             raise ValueError("cache_capacity must be >= 1")
+        if self.probation_clean_target < 1:
+            raise ValueError("probation_clean_target must be >= 1")
+        if self.min_active_branches < 1:
+            raise ValueError("min_active_branches must be >= 1")
 
 
 @dataclass
@@ -118,6 +131,11 @@ class CompareStats:
     cleanups: int = 0
     cleanup_stall_time: float = 0.0
     blocks_issued: int = 0
+    #: self-healing bookkeeping (see quarantine_branch / readmit_branch)
+    quarantines: int = 0
+    readmissions: int = 0
+    quarantined_copies: int = 0
+    probation_resets: int = 0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -176,6 +194,14 @@ class CompareCore:
         # liveness bookkeeping
         self._miss_counts: Dict[int, int] = {b: 0 for b in self.branch_ids}
         self._unavailable: Dict[int, bool] = {b: False for b in self.branch_ids}
+        # Time of each branch's last clean (counted, non-duplicate) vote:
+        # entries older than this must not count as misses — they date
+        # from before the branch recovered (stale-count guard).
+        self._last_clean_vote: Dict[int, float] = {}
+        # self-healing bookkeeping: branch -> quarantined-at time, and the
+        # running count of consecutive clean probation copies
+        self._quarantined: Dict[int, float] = {}
+        self._probation_clean: Dict[int, int] = {}
         self._sweeper = PeriodicTask(sim, config.buffer_timeout, self._sweep)
         # Latency/quorum histograms bound from the registry active at
         # construction time; None when metrics are disabled so the
@@ -245,8 +271,11 @@ class CompareCore:
             self._sweeper.start(self.config.buffer_timeout)
         if len(self.book) >= self.config.cache_capacity:
             self._cleanup(now)
+        quarantined = branch in self._quarantined
         key: Hashable = (context.scope, claim, self.config.policy.key(packet))
-        outcome = self.book.observe(key, branch, now, packet, claim=claim)
+        outcome = self.book.observe(
+            key, branch, now, packet, claim=claim, countable=not quarantined
+        )
         if outcome.evicted_stale is not None:
             self._finalise(outcome.evicted_stale)
         if outcome.is_branch_duplicate:
@@ -254,6 +283,16 @@ class CompareCore:
             self._note_duplicate(branch, context)
         else:
             self._dup_strikes[branch] = 0
+            if not quarantined:
+                # First clean vote after an outage heals the liveness
+                # bookkeeping right here, not at entry-finalise time:
+                # otherwise outage-era entries expiring after the branch
+                # recovered would re-alarm a healed router.
+                self._last_clean_vote[branch] = now
+                if self._miss_counts.get(branch):
+                    self._miss_counts[branch] = 0
+                if self._unavailable.get(branch):
+                    self._unavailable[branch] = False
         if packet.trace_id is not None:
             self._trace(
                 "compare.vote",
@@ -262,25 +301,49 @@ class CompareCore:
                 votes=outcome.entry.distinct_branches,
                 duplicate=outcome.is_branch_duplicate,
                 late=outcome.late_copy,
+                probation=quarantined,
             )
+        if quarantined:
+            self.stats.quarantined_copies += 1
+            if outcome.entry.released and not outcome.is_branch_duplicate:
+                # The copy matches a packet the active majority already
+                # released: a clean duplicate, probation's currency.
+                self._note_probation_clean(branch)
+            return
         if outcome.late_copy:
             self.stats.late_copies += 1
             self._trace("compare.late_copy", branch=branch)
             return
         if outcome.newly_released:
-            entry = outcome.entry
-            self.stats.released += 1
-            if self._h_release_latency is not None:
-                self._h_release_latency.observe(now - entry.first_seen)
-                self._h_quorum_votes.observe(entry.distinct_branches)
-            self._trace(
-                "compare.release",
-                branch=branch,
-                votes=entry.distinct_branches,
-                trace=entry.packet.trace_id,
-                latency=now - entry.first_seen,
-            )
+            self._do_release(outcome.entry, now, context=context, branch=branch)
+
+    def _do_release(
+        self,
+        entry: VoteEntry,
+        now: float,
+        context: Optional[CompareContext] = None,
+        branch: Optional[int] = None,
+    ) -> None:
+        """Forward an entry's winning copy and settle probation credit."""
+        self.stats.released += 1
+        if self._h_release_latency is not None:
+            self._h_release_latency.observe(now - entry.first_seen)
+            self._h_quorum_votes.observe(entry.distinct_branches)
+        self._trace(
+            "compare.release",
+            branch=branch,
+            votes=entry.distinct_branches,
+            trace=entry.packet.trace_id,
+            latency=now - entry.first_seen,
+        )
+        if context is None:
+            context = self._contexts.get(entry.key[0])
+        if context is not None:
             context.release(entry.packet)
+        # Probation copies that preceded the quorum are confirmed clean
+        # now that the active majority agreed on the same bytes.
+        for waiting in list(entry.probation_counts):
+            self._note_probation_clean(waiting)
 
     # ------------------------------------------------------------------
     # cache management (the Figure 8 jitter mechanism)
@@ -315,13 +378,21 @@ class CompareCore:
         if entry.released:
             self.stats.expired_released += 1
             for missing in entry.missing_branches(self.branch_ids):
-                self._note_missing(missing)
+                if missing in self._quarantined or missing in entry.probation_counts:
+                    # Quarantined branches are expected to be absent from
+                    # the count; a probation copy is not "missing" either.
+                    continue
+                self._note_missing(missing, entry.first_seen)
             for present in entry.branches():
                 self._miss_counts[present] = 0
                 if self._unavailable.get(present):
                     self._unavailable[present] = False
         else:
             self.stats.expired_unreleased += 1
+            for waiting in list(entry.probation_counts):
+                # The quarantined branch delivered bytes no active
+                # majority ever confirmed: probation starts over.
+                self._reset_probation(waiting)
             if entry.distinct_branches == 1:
                 branch = entry.branches()[0]
                 self.alarms.raise_alarm(
@@ -370,7 +441,11 @@ class CompareCore:
         if context is not None and context.block_branch is not None:
             context.block_branch(branch, self.config.block_duration)
 
-    def _note_missing(self, branch: int) -> None:
+    def _note_missing(self, branch: int, first_seen: float) -> None:
+        if first_seen < self._last_clean_vote.get(branch, -1.0):
+            # The entry's packet predates the branch's recovery; counting
+            # it would re-alarm a healed router on stale history.
+            return
         count = self._miss_counts.get(branch, 0) + 1
         self._miss_counts[branch] = count
         if count >= self.config.miss_threshold and not self._unavailable.get(branch):
@@ -382,6 +457,134 @@ class CompareCore:
                 branch=branch,
                 consecutive_misses=count,
             )
+
+    # ------------------------------------------------------------------
+    # self-healing: quarantine / probation / re-admission
+    # ------------------------------------------------------------------
+    def active_branches(self) -> List[int]:
+        """Branches currently counted toward the quorum."""
+        return [b for b in self.branch_ids if b not in self._quarantined]
+
+    def is_quarantined(self, branch: int) -> bool:
+        return branch in self._quarantined
+
+    def quarantined_branches(self) -> List[int]:
+        return sorted(self._quarantined)
+
+    def quarantine_branch(self, branch: int, reason: str = "operator") -> bool:
+        """Take ``branch`` out of the vote (Section V's "take the faulty
+        router out of service", automated).
+
+        Its copies stop counting toward the quorum and are tracked on
+        probation instead; the quorum is recomputed over the surviving
+        active branches, so a k=3 bundle degrades to a 2-of-2 vote —
+        forwarding continues but nothing is masked any more, which the
+        alarm records as ``masking_margin``.  After
+        ``probation_clean_target`` consecutive clean duplicates the
+        branch is re-admitted automatically.  Refused (returns False)
+        when it would leave fewer than ``min_active_branches`` active.
+        """
+        if branch not in self.branch_ids or branch in self._quarantined:
+            return False
+        if len(self.active_branches()) - 1 < self.config.min_active_branches:
+            self._trace(
+                "compare.quarantine_refused",
+                branch=branch,
+                active=len(self.active_branches()),
+            )
+            return False
+        now = self.sim.now
+        self._quarantined[branch] = now
+        self._probation_clean[branch] = 0
+        self.stats.quarantines += 1
+        self._apply_dynamic_quorum()
+        active = len(self.active_branches())
+        self.alarms.raise_alarm(
+            now,
+            ALARM_BRANCH_QUARANTINED,
+            self.name,
+            branch=branch,
+            reason=reason,
+            active_branches=active,
+            quorum=self.book.quorum,
+            masking_margin=active - self.book.quorum,
+        )
+        self._trace(
+            "compare.quarantine",
+            branch=branch,
+            reason=reason,
+            active=active,
+            quorum=self.book.quorum,
+        )
+        return True
+
+    def readmit_branch(self, branch: int, reason: str = "probation_complete") -> bool:
+        """Return a quarantined branch to the vote (probation served)."""
+        since = self._quarantined.pop(branch, None)
+        if since is None:
+            return False
+        clean = self._probation_clean.pop(branch, 0)
+        now = self.sim.now
+        self._miss_counts[branch] = 0
+        self._unavailable[branch] = False
+        self._last_clean_vote[branch] = now
+        self.stats.readmissions += 1
+        self._apply_dynamic_quorum()
+        self.alarms.raise_alarm(
+            now,
+            ALARM_BRANCH_READMITTED,
+            self.name,
+            branch=branch,
+            reason=reason,
+            clean_copies=clean,
+            quarantined_for=now - since,
+            active_branches=len(self.active_branches()),
+            quorum=self.book.quorum,
+        )
+        self._trace(
+            "compare.readmit", branch=branch, clean=clean, quorum=self.book.quorum
+        )
+        return True
+
+    def _apply_dynamic_quorum(self) -> None:
+        """Recompute the vote threshold over the active bundle.
+
+        The configured quorum applies to the full bundle; while branches
+        are quarantined it is capped at a strict majority of the active
+        set so forwarding survives the shrink.  A shrink can complete
+        votes that were already pending.
+        """
+        quorum = self.config.effective_quorum()
+        if self._quarantined:
+            quorum = min(quorum, len(self.active_branches()) // 2 + 1)
+        quorum = max(1, quorum)
+        if quorum == self.book.quorum:
+            return
+        shrank = quorum < self.book.quorum
+        self.book.quorum = quorum
+        if shrank:
+            now = self.sim.now
+            for entry in self.book.pending():
+                if entry.distinct_branches >= quorum:
+                    entry.released = True
+                    entry.released_at = now
+                    self._do_release(entry, now)
+
+    def _note_probation_clean(self, branch: int) -> None:
+        if branch not in self._quarantined:
+            return
+        count = self._probation_clean.get(branch, 0) + 1
+        self._probation_clean[branch] = count
+        if count >= self.config.probation_clean_target:
+            self.readmit_branch(branch)
+
+    def _reset_probation(self, branch: int) -> None:
+        if branch not in self._quarantined:
+            return
+        if self._probation_clean.get(branch):
+            self._probation_clean[branch] = 0
+            self.stats.probation_resets += 1
+            self._trace("compare.probation_reset", branch=branch)
 
     # ------------------------------------------------------------------
     def flush(self) -> None:

@@ -25,6 +25,7 @@ class VoteEntry:
         "first_seen",
         "deadline",
         "branch_counts",
+        "probation_counts",
         "released",
         "released_at",
         "claim",
@@ -43,6 +44,9 @@ class VoteEntry:
         self.first_seen = first_seen
         self.deadline = deadline
         self.branch_counts: Dict[int, int] = {}
+        # Copies from quarantined branches: recorded (they prove the
+        # branch is delivering again) but never counted toward quorum.
+        self.probation_counts: Dict[int, int] = {}
         self.released = False
         self.released_at: Optional[float] = None
         self.claim = claim
@@ -55,7 +59,7 @@ class VoteEntry:
         return sorted(self.branch_counts)
 
     def total_copies(self) -> int:
-        return sum(self.branch_counts.values())
+        return sum(self.branch_counts.values()) + sum(self.probation_counts.values())
 
     def missing_branches(self, all_branches: List[int]) -> List[int]:
         return [b for b in all_branches if b not in self.branch_counts]
@@ -81,6 +85,9 @@ class VoteOutcome:
     #: arrived; it was evicted and this copy started a fresh vote — the
     #: bounded-waiting-time rule of Section IV, enforced strictly
     evicted_stale: Optional[VoteEntry] = None
+    #: False when the copy came from a quarantined branch and was
+    #: recorded on probation, outside the quorum count
+    countable: bool = True
 
 
 class VoteBook:
@@ -120,8 +127,13 @@ class VoteBook:
         now: float,
         packet: Packet,
         claim: Optional[int] = None,
+        countable: bool = True,
     ) -> VoteOutcome:
         """Record that ``branch`` delivered a copy keyed ``key``.
+
+        ``countable=False`` records the copy on probation (a quarantined
+        branch proving itself): it never advances the quorum and never
+        triggers a release.
 
         Returns the outcome; the caller (the compare element) decides what
         to do about releases, duplicates and alarms.
@@ -144,9 +156,25 @@ class VoteBook:
                 claim=claim,
             )
             self._entries[key] = entry
+        late = entry.released
+        if not countable:
+            is_branch_duplicate = branch in entry.probation_counts
+            entry.probation_counts[branch] = entry.probation_counts.get(branch, 0) + 1
+            return VoteOutcome(
+                entry=entry,
+                is_new_entry=is_new,
+                is_branch_duplicate=is_branch_duplicate,
+                newly_released=False,
+                late_copy=late,
+                evicted_stale=evicted_stale,
+                countable=False,
+            )
+        if not entry.branch_counts:
+            # The entry may have been opened by a probation copy; the
+            # released instance must come from a counted branch.
+            entry.packet = packet
         is_branch_duplicate = branch in entry.branch_counts
         entry.branch_counts[branch] = entry.branch_counts.get(branch, 0) + 1
-        late = entry.released
         newly_released = False
         if not entry.released and entry.distinct_branches >= self.quorum:
             entry.released = True

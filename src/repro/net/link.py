@@ -11,7 +11,7 @@ This is the simulator analogue of Mininet's ``TCLink``.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.obs.metrics import active_registry
 from repro.sim import RngStreams, Simulator, TraceBus
@@ -31,6 +31,7 @@ class LinkStats:
         "delivered_bytes",
         "queue_drops",
         "loss_drops",
+        "fault_drops",
     )
 
     def __init__(self) -> None:
@@ -40,6 +41,7 @@ class LinkStats:
         self.delivered_bytes = 0
         self.queue_drops = 0
         self.loss_drops = 0
+        self.fault_drops = 0
 
     def as_dict(self) -> dict:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -62,6 +64,9 @@ class _Direction:
         self._rate_bps = rate_bps
         self._delay = delay
         self._loss = loss
+        # Optional stateful loss model (chaos bursts); when set it
+        # replaces the independent Bernoulli draw entirely.
+        self._loss_model: Optional[Callable[[], bool]] = None
         self._queue_capacity = queue_capacity
         self._busy_until = 0.0
         self._queued = 0  # packets serialised or waiting to serialise
@@ -83,6 +88,10 @@ class _Direction:
     def transmit(self, packet: "Packet", deliver_to: "Port") -> None:
         sim = self._link.sim
         now = sim.now
+        if self._link.is_down:
+            self.stats.fault_drops += 1
+            self._link.trace(now, "link.drop", self._name, reason="down", packet=packet)
+            return
         if self._queued >= self._queue_capacity:
             self.stats.queue_drops += 1
             self._link.trace(now, "link.drop", self._name, reason="queue", packet=packet)
@@ -110,9 +119,12 @@ class _Direction:
                 queue_delay=start - now,
             )
 
-        lost = False
-        if self._loss > 0.0:
+        if self._loss_model is not None:
+            lost = self._loss_model()
+        elif self._loss > 0.0:
             lost = self._link.rng.random() < self._loss
+        else:
+            lost = False
 
         def _complete() -> None:
             self._queued -= 1
@@ -178,6 +190,7 @@ class Link:
         self._trace_bus = trace_bus
         streams = rng_streams or RngStreams(0)
         self.rng = streams.stream(f"link.{self.name}.loss")
+        self._down = False
         self.a = a
         self.b = b
         self._a_to_b = _Direction(
@@ -190,6 +203,46 @@ class Link:
         )
         a.attach_link(self)
         b.attach_link(self)
+
+    # ------------------------------------------------------------------
+    # fault hooks (chaos engine / operator actions)
+    # ------------------------------------------------------------------
+    @property
+    def is_down(self) -> bool:
+        return self._down
+
+    def fail(self) -> None:
+        """Cut the link: frames offered while down are dropped (frames
+        already serialised still propagate — the cut is at admission)."""
+        if self._down:
+            return
+        self._down = True
+        self.trace(self.sim.now, "link.down", self.name)
+
+    def recover(self) -> None:
+        if not self._down:
+            return
+        self._down = False
+        self.trace(self.sim.now, "link.up", self.name)
+
+    def set_loss_model(self, model: Optional[Callable[[], bool]]) -> None:
+        """Install a per-packet loss decision callable on both directions
+        (``None`` restores the configured Bernoulli loss)."""
+        self._a_to_b._loss_model = model
+        self._b_to_a._loss_model = model
+
+    def scale_rate(self, factor: float) -> None:
+        """Multiply both directions' serialisation rate (bandwidth
+        degradation; ``None``-rate links are infinitely fast and stay so)."""
+        if factor <= 0.0:
+            raise ValueError(f"rate factor must be positive, got {factor}")
+        for direction in (self._a_to_b, self._b_to_a):
+            if direction._rate_bps is not None:
+                direction._rate_bps *= factor
+
+    def rates_bps(self) -> tuple:
+        """Current per-direction rates (a->b, b->a)."""
+        return (self._a_to_b._rate_bps, self._b_to_a._rate_bps)
 
     def send_from(self, src_port: "Port", packet: "Packet") -> None:
         """Transmit ``packet`` out of ``src_port`` toward the other end."""

@@ -61,6 +61,7 @@ class SwitchStats:
         "dropped_no_match",
         "dropped_no_actions",
         "dropped_service_queue",
+        "dropped_failed",
         "packet_ins",
         "packet_outs",
         "flow_mods",
@@ -73,6 +74,7 @@ class SwitchStats:
         self.dropped_no_match = 0
         self.dropped_no_actions = 0
         self.dropped_service_queue = 0
+        self.dropped_failed = 0
         self.packet_ins = 0
         self.packet_outs = 0
         self.flow_mods = 0
@@ -117,6 +119,8 @@ class OpenFlowSwitch(Node):
         self._controller: Optional["Controller"] = None
         self._controller_latency = 0.0
         self._in_service = 0
+        self._failed = False
+        self._saved_flows: Optional[List[FlowEntry]] = None
         self._packet_buffer: Dict[int, Tuple[Packet, int]] = {}
         self._packet_buffer_capacity = packet_buffer_capacity
         self._buffer_seq = 0
@@ -162,6 +166,10 @@ class OpenFlowSwitch(Node):
     # ------------------------------------------------------------------
     def receive(self, packet: Packet, in_port: Port) -> None:
         self.stats.rx_packets += 1
+        if self._failed:
+            self.stats.dropped_failed += 1
+            self.trace("switch.drop", reason="failed", packet=packet)
+            return
         if self._in_service >= self.service_queue_capacity:
             self.stats.dropped_service_queue += 1
             self.trace("switch.drop", reason="service_queue", packet=packet)
@@ -180,6 +188,11 @@ class OpenFlowSwitch(Node):
         self.sim.schedule_at(finish, _serve)
 
     def _process(self, packet: Packet, in_port_no: int) -> None:
+        if self._failed:
+            # crashed while the packet was in the service queue
+            self.stats.dropped_failed += 1
+            self.trace("switch.drop", reason="failed", packet=packet)
+            return
         for entry in self.table.sweep_expired(self.sim.now):
             self._notify_flow_removed(entry, reason=entry.expired(self.sim.now) or "idle")
         if self.behavior is not None:
@@ -336,6 +349,48 @@ class OpenFlowSwitch(Node):
         )
         self.table.add(entry)
         return entry
+
+    @property
+    def failed(self) -> bool:
+        return self._failed
+
+    def fail(self, wipe_flows: bool = True) -> None:
+        """Crash the datapath: every packet is dropped until ``recover``.
+
+        ``wipe_flows=True`` models the paper's soft-state loss — a rebooted
+        router comes back with an empty flow table; the pre-crash table is
+        snapshotted so ``recover(restore_flows=True)`` can model an
+        operator re-provisioning the routes.
+        """
+        if self._failed:
+            return
+        self._failed = True
+        if wipe_flows:
+            self._saved_flows = self.table.entries
+            self.table = FlowTable()
+        self._packet_buffer.clear()
+        self.trace("switch.failed", wiped_flows=wipe_flows)
+
+    def recover(self, restore_flows: bool = True) -> None:
+        """Bring a crashed datapath back up.
+
+        ``restore_flows=True`` re-installs the pre-crash entries with
+        fresh timestamps (an operator or controller re-provisioning the
+        routes); ``False`` leaves the table as the crash left it.
+        """
+        if not self._failed:
+            return
+        self._failed = False
+        restored = 0
+        if restore_flows and self._saved_flows is not None:
+            now = self.sim.now
+            for entry in self._saved_flows:
+                entry.created_at = now
+                entry.last_matched = now
+                self.table.add(entry)
+            restored = len(self._saved_flows)
+        self._saved_flows = None
+        self.trace("switch.recovered", restored_flows=restored)
 
     def block_port(self, port_no: int, duration: float) -> None:
         """Administratively block a port (compare DoS mitigation)."""

@@ -183,6 +183,10 @@ class UdpReceiver:
     def received_unique(self) -> int:
         return len(self._seen)
 
+    def received_sequences(self) -> Set[int]:
+        """Set of sequence numbers delivered at least once (gap analysis)."""
+        return set(self._seen)
+
     def result(self, sender: UdpSender, duration: float) -> UdpFlowResult:
         return UdpFlowResult(
             sent=sender.sent,

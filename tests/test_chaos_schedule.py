@@ -1,0 +1,264 @@
+"""Unit tests for the chaos engine: event types, JSON round-trips,
+deterministic compilation, and the link/switch fault hooks."""
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    BandwidthDegrade,
+    BehaviorOn,
+    ChaosEngine,
+    FaultSchedule,
+    GilbertElliottLoss,
+    LinkDown,
+    LossBurst,
+    RouterCrash,
+    builtin_battery,
+)
+from repro.net import IpAddress, MacAddress, Network, Packet
+from repro.openflow import Match, Output
+from repro.sim import RngStreams
+
+
+def two_switch_net(seed=5, rate_bps=None, loss=0.0):
+    """h1 -- s1 -- s2 -- h2 with MAC forwarding installed."""
+    from repro.openflow.switch import OpenFlowSwitch
+
+    net = Network(seed=seed)
+    h1 = net.add_host("h1")
+    h2 = net.add_host("h2")
+    s1 = net.add_node(OpenFlowSwitch(net.sim, "s1", trace_bus=net.trace))
+    s2 = net.add_node(OpenFlowSwitch(net.sim, "s2", trace_bus=net.trace))
+    net.connect(h1, s1)
+    net.connect(s1, s2, rate_bps=rate_bps, loss=loss)
+    net.connect(s2, h2)
+    for sw, nxt_h2, nxt_h1 in ((s1, "s2", "h1"), (s2, "h2", "s1")):
+        sw.install(Match(dl_dst=h2.mac), [Output(net.port_no_between(sw.name, nxt_h2))])
+        sw.install(Match(dl_dst=h1.mac), [Output(net.port_no_between(sw.name, nxt_h1))])
+    return net, h1, h2, s1, s2
+
+
+def blast(net, h1, h2, count=20, start=0.0, spacing=1e-3):
+    """Schedule `count` spaced UDP datagrams h1 -> h2; return recv list."""
+    got = []
+    h2.bind_udp(7, lambda p: got.append(p))
+
+    def send(i):
+        p = Packet.udp(h1.mac, h2.mac, h1.ip, h2.ip, 7, 7,
+                       payload=bytes([i]) * 20, ident=i)
+        h1.send(p)
+
+    for i in range(count):
+        net.sim.schedule_at(start + i * spacing, lambda i=i: send(i))
+    return got
+
+
+# ----------------------------------------------------------------------
+# schedule serialisation
+# ----------------------------------------------------------------------
+class TestScheduleFormat:
+    def test_json_round_trip(self):
+        for schedule in builtin_battery().values():
+            d = schedule.to_dict()
+            again = FaultSchedule.from_dict(d)
+            assert again.to_dict() == d
+            assert FaultSchedule.from_json(json.dumps(d)).to_dict() == d
+
+    def test_events_sorted_by_time(self):
+        s = FaultSchedule([LinkDown(0.5, "l"), RouterCrash(0.1, "r")])
+        assert [e.time for e in s] == [0.1, 0.5]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSchedule.from_dict(
+                {"events": [{"kind": "meteor_strike", "time": 0.1, "target": "x"}]}
+            )
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown field"):
+            FaultSchedule.from_dict(
+                {"events": [{"kind": "link_down", "time": 0.1, "target": "x",
+                             "sideways": True}]}
+            )
+
+    def test_validation_catches_bad_windows(self):
+        with pytest.raises(ValueError, match="until"):
+            FaultSchedule([LinkDown(0.5, "l", until=0.4)]).validate()
+        with pytest.raises(ValueError, match="restart_at"):
+            FaultSchedule([RouterCrash(0.5, "r", restart_at=0.5)]).validate()
+        with pytest.raises(ValueError, match="unknown behavior"):
+            FaultSchedule([BehaviorOn(0.1, "r", behavior="gremlin")]).validate()
+
+    def test_save_and_reload(self, tmp_path):
+        path = str(tmp_path / "spec.json")
+        schedule = builtin_battery()["crash_restart"]
+        schedule.save(path)
+        assert FaultSchedule.from_json_file(path).to_dict() == schedule.to_dict()
+
+
+# ----------------------------------------------------------------------
+# engine compilation & target resolution
+# ----------------------------------------------------------------------
+class TestEngine:
+    def test_unresolvable_target_fails_at_arm_time(self):
+        net, *_ = two_switch_net()
+        engine = ChaosEngine(
+            FaultSchedule([RouterCrash(0.01, "nonesuch")]), net
+        )
+        with pytest.raises(ValueError, match="no node named"):
+            engine.arm()
+
+    def test_link_target_must_be_a_link(self):
+        net, *_ = two_switch_net()
+        engine = ChaosEngine(FaultSchedule([LinkDown(0.01, "nonesuch")]), net)
+        with pytest.raises(ValueError, match="no link named"):
+            engine.arm()
+
+    def test_aliases_resolve(self):
+        net, _, _, s1, _ = two_switch_net()
+        engine = ChaosEngine(
+            FaultSchedule([RouterCrash(0.01, "victim")]),
+            net,
+            aliases={"victim": "s1"},
+        )
+        engine.arm()
+        net.run(until=0.02)
+        assert s1.failed
+        assert engine.injections == [
+            {"time": 0.01, "kind": "router_crash", "target": "victim"}
+        ]
+
+    def test_arm_twice_rejected(self):
+        net, *_ = two_switch_net()
+        engine = ChaosEngine(FaultSchedule([]), net)
+        engine.arm()
+        with pytest.raises(RuntimeError):
+            engine.arm()
+
+    def test_injection_log_and_traces(self):
+        net, _, _, s1, _ = two_switch_net()
+        schedule = FaultSchedule(
+            [LinkDown(0.005, "s1-s2", until=0.010), RouterCrash(0.015, "s1")],
+            name="probe",
+        )
+        engine = ChaosEngine(schedule, net)
+        engine.arm()
+        net.run(until=0.05)
+        kinds = [i["kind"] for i in engine.injections]
+        assert kinds == ["link_down", "link_up", "router_crash"]
+        topics = {r.topic for r in net.trace.select("chaos.*")}
+        assert topics == {"chaos.link_down", "chaos.link_up", "chaos.router_crash"}
+
+
+# ----------------------------------------------------------------------
+# fault hooks end-to-end
+# ----------------------------------------------------------------------
+class TestLinkFaults:
+    def test_link_down_window_drops_then_heals(self):
+        net, h1, h2, *_ = two_switch_net()
+        got = blast(net, h1, h2, count=20, spacing=1e-3)
+        engine = ChaosEngine(
+            FaultSchedule([LinkDown(0.0045, "s1-s2", until=0.0145)]), net
+        )
+        engine.arm()
+        net.run(until=0.05)
+        # datagrams 5..14 hit the dead window; the rest pass
+        idents = sorted(p.ip.ident for p in got)
+        assert idents == [0, 1, 2, 3, 4] + list(range(15, 20))
+        link = next(l for l in net.links if l.name == "s1-s2")
+        assert link.direction_stats(link.a).fault_drops == 10
+        assert not link.is_down
+
+    def test_bandwidth_degrade_and_restore(self):
+        net, *_ = two_switch_net(rate_bps=1e6)
+        link = next(l for l in net.links if l.name == "s1-s2")
+        engine = ChaosEngine(
+            FaultSchedule([BandwidthDegrade(0.001, "s1-s2", factor=0.25,
+                                            until=0.002)]),
+            net,
+        )
+        engine.arm()
+        net.run(until=0.0015)
+        assert link.rates_bps() == (0.25e6, 0.25e6)
+        net.run(until=0.003)
+        assert link.rates_bps() == (1e6, 1e6)
+
+    def test_gilbert_elliott_is_deterministic(self):
+        def draw(seed):
+            model = GilbertElliottLoss(
+                RngStreams(seed).stream("ge"), 0.3, 0.3, loss_bad=0.9
+            )
+            return [model() for _ in range(200)]
+
+        assert draw(4) == draw(4)
+        assert draw(4) != draw(5)
+        assert any(draw(4))  # bursts actually lose packets
+        assert not all(draw(4))
+
+    def test_loss_burst_installs_and_clears_model(self):
+        net, *_ = two_switch_net()
+        link = next(l for l in net.links if l.name == "s1-s2")
+        engine = ChaosEngine(
+            FaultSchedule(
+                [LossBurst(0.001, "s1-s2", until=0.002, loss_bad=1.0)]
+            ),
+            net,
+        )
+        engine.arm()
+        net.run(until=0.0015)
+        assert link._a_to_b._loss_model is not None
+        net.run(until=0.003)
+        assert link._a_to_b._loss_model is None
+
+
+class TestSwitchFaults:
+    def test_crash_wipes_flows_and_drops(self):
+        net, h1, h2, s1, _ = two_switch_net()
+        got = blast(net, h1, h2, count=10, spacing=1e-3)
+        engine = ChaosEngine(FaultSchedule([RouterCrash(0.0035, "s1")]), net)
+        engine.arm()
+        net.run(until=0.05)
+        assert s1.failed
+        assert len(s1.table) == 0
+        assert sorted(p.ip.ident for p in got) == [0, 1, 2, 3]
+        assert s1.stats.dropped_failed == 6
+
+    def test_restart_restores_flows_and_traffic(self):
+        net, h1, h2, s1, _ = two_switch_net()
+        got = blast(net, h1, h2, count=10, spacing=1e-3)
+        engine = ChaosEngine(
+            FaultSchedule([RouterCrash(0.0035, "s1", restart_at=0.0065)]), net
+        )
+        engine.arm()
+        net.run(until=0.05)
+        assert not s1.failed
+        assert len(s1.table) == 2  # both MAC routes back
+        assert sorted(p.ip.ident for p in got) == [0, 1, 2, 3, 7, 8, 9]
+
+    def test_behavior_window_turns_switch_adversarial(self):
+        net, h1, h2, s1, _ = two_switch_net()
+        got = blast(net, h1, h2, count=10, spacing=1e-3)
+        engine = ChaosEngine(
+            FaultSchedule(
+                [BehaviorOn(0.0035, "s1", behavior="blackhole", until=0.0065)]
+            ),
+            net,
+        )
+        engine.arm()
+        net.run(until=0.05)
+        assert s1.behavior is None  # restored
+        assert s1.stats.behavior_handled == 3
+        assert sorted(p.ip.ident for p in got) == [0, 1, 2, 3, 7, 8, 9]
+
+
+def test_chaos_run_is_bit_reproducible():
+    """Same schedule + seed -> byte-identical survivability record."""
+    from repro.analysis.tasks import chaos_run
+
+    schedule = builtin_battery()["crash_restart"].to_dict()
+    a = json.dumps(chaos_run(schedule=schedule, seed=9, duration=0.03),
+                   sort_keys=True)
+    b = json.dumps(chaos_run(schedule=schedule, seed=9, duration=0.03),
+                   sort_keys=True)
+    assert a == b

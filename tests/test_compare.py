@@ -181,6 +181,27 @@ class TestTimeoutsAndAlarms:
         h.sim.run(until=0.2)
         assert h.core.alarms.count(ALARM_ROUTER_UNAVAILABLE) == 0
 
+    def test_stale_outage_entries_cannot_realarm_after_recovery(self):
+        """Regression: outage-era entries finalise *after* the branch has
+        healed (their deadline falls past the first clean vote).  Those
+        stale misses must not count toward the threshold, or a healthy
+        router gets alarmed on outdated evidence."""
+        h = Harness(miss_threshold=5, buffer_timeout=0.01)
+        # Outage: five entries at t=0 that branch 2 never delivers.
+        # They finalise at t=0.01 — after the recovery below.
+        for i in range(5):
+            h.submit(pkt(ident=i), 0)
+            h.submit(pkt(ident=i), 1)
+
+        def heal():
+            for i in range(100, 103):
+                for branch in range(3):
+                    h.submit(pkt(ident=i), branch)
+
+        h.sim.schedule_at(0.005, heal)
+        h.sim.run(until=0.05)
+        assert h.core.alarms.count(ALARM_ROUTER_UNAVAILABLE) == 0
+
     def test_unavailable_alarm_not_repeated(self):
         h = Harness(miss_threshold=3)
         for i in range(10):

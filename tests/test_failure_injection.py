@@ -8,7 +8,15 @@ alarm on what it cannot.
 import pytest
 
 from repro.adversary import BlackholeBehavior
+from repro.chaos import (
+    ChaosEngine,
+    FaultSchedule,
+    QuarantineController,
+    RouterCrash,
+)
 from repro.core import (
+    ALARM_BRANCH_QUARANTINED,
+    ALARM_BRANCH_READMITTED,
     ALARM_ROUTER_UNAVAILABLE,
     CombinerChainParams,
     CompareConfig,
@@ -16,6 +24,7 @@ from repro.core import (
 )
 from repro.net import Network
 from repro.traffic.iperf import PathEndpoints, run_ping, run_udp_flow
+from repro.traffic.udp import UdpSender, _decode_payload
 
 
 def build_rig(
@@ -137,3 +146,101 @@ class TestDeadBranch:
         BlackholeBehavior().attach(chain.router(1))
         result = run_ping(PathEndpoints(net, h1, h2), count=10, interval=5e-4)
         assert result.received == 0
+
+
+class TestSelfHealingLifecycle:
+    """Crash → quarantine → restart → re-admission, end to end."""
+
+    WARMUP = 1e-3
+    DURATION = 0.05
+    CRASH_AT = 0.010
+    RESTART_AT = 0.025
+
+    def run_crash_flow(self, restart=True, rate_bps=20e6):
+        net, chain, h1, h2 = build_rig(k=3)
+        core = chain.compare_core
+        core.config.probation_clean_target = 10
+        controller = QuarantineController(core, net.trace)
+        schedule = FaultSchedule(
+            [
+                RouterCrash(
+                    self.CRASH_AT,
+                    "nc_r1",
+                    restart_at=self.RESTART_AT if restart else None,
+                )
+            ],
+            name="lifecycle",
+        )
+        ChaosEngine(schedule, net).arm()
+
+        received = []  # (seq, ttl, arrival time)
+        h2.bind_udp(5001, lambda p: received.append(
+            (_decode_payload(p.payload)[0], p.ip.ttl, net.sim.now)))
+        sender = UdpSender(
+            h1, dst_mac=h2.mac, dst_ip=h2.ip, dport=5001, rate_bps=rate_bps
+        )
+        sender.start(self.DURATION, delay=self.WARMUP)
+        net.run(until=self.WARMUP + self.DURATION + 0.02)
+        return net, chain, controller, sender, received
+
+    def test_full_lifecycle_transitions(self):
+        net, chain, controller, sender, received = self.run_crash_flow()
+        events = [(t["event"], t["branch"]) for t in controller.transitions]
+        assert events == [("quarantine", 1), ("readmit", 1)]
+        q_time = controller.transitions[0]["time"]
+        r_time = controller.transitions[1]["time"]
+        assert self.CRASH_AT < q_time < self.RESTART_AT
+        assert r_time > self.RESTART_AT
+        core = chain.compare_core
+        assert not core.is_quarantined(1)
+        assert core.active_branches() == [0, 1, 2]
+        assert core.stats.quarantines == 1 and core.stats.readmissions == 1
+
+    def test_alarm_ordering_unavailable_precedes_quarantine(self):
+        net, chain, controller, sender, received = self.run_crash_flow()
+        kinds = [a.kind for a in chain.compare_core.alarms.alarms]
+        assert ALARM_ROUTER_UNAVAILABLE in kinds
+        assert ALARM_BRANCH_QUARANTINED in kinds
+        assert kinds.index(ALARM_ROUTER_UNAVAILABLE) < kinds.index(
+            ALARM_BRANCH_QUARANTINED
+        )
+        assert kinds.index(ALARM_BRANCH_QUARANTINED) < kinds.index(
+            ALARM_BRANCH_READMITTED
+        )
+        # same story on the trace bus, for RunReport consumers
+        alarm_kinds = [r.data["kind"] for r in net.trace.select("alarm")]
+        assert alarm_kinds.index(ALARM_ROUTER_UNAVAILABLE) < alarm_kinds.index(
+            ALARM_BRANCH_QUARANTINED
+        )
+
+    def test_seq_and_ttl_continuity_across_restart(self):
+        net, chain, controller, sender, received = self.run_crash_flow()
+        # k=3 tolerates one dead branch: no datagram is ever lost
+        seqs = [seq for seq, _ttl, _t in received]
+        assert seqs == list(range(sender.sent))
+        # the released copies keep the same hop count before, during and
+        # after the crash (no path change, no TTL glitch on re-admission)
+        assert len({ttl for _seq, ttl, _t in received}) == 1
+
+    def test_zero_post_quarantine_gaps(self):
+        net, chain, controller, sender, received = self.run_crash_flow()
+        q_time = controller.transitions[0]["time"]
+        seen = {seq for seq, _ttl, _t in received}
+        post = [
+            s for s in range(sender.sent)
+            if self.WARMUP + s * sender.interval >= q_time
+        ]
+        assert post, "run too short: nothing sent after quarantine"
+        assert all(s in seen for s in post)
+
+    def test_crash_without_restart_stays_quarantined(self):
+        net, chain, controller, sender, received = self.run_crash_flow(
+            restart=False
+        )
+        core = chain.compare_core
+        assert core.is_quarantined(1)
+        assert core.active_branches() == [0, 2]
+        assert [t["event"] for t in controller.transitions] == ["quarantine"]
+        assert core.stats.readmissions == 0
+        # forwarding continued on the surviving pair
+        assert len(received) == sender.sent

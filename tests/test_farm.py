@@ -313,3 +313,38 @@ class TestFigureEquivalence:
         assert second.cache.hits == n_specs
         assert second.cache.hit_rate == 1.0
         assert second.progress.executed == 0
+
+
+class TestChaosDeterminism:
+    """The same chaos schedule sharded over 4 workers must yield the
+    byte-identical RunReport a serial run produces."""
+
+    def _battery(self):
+        from repro.chaos import builtin_battery
+
+        battery = builtin_battery()
+        return [
+            battery["crash_restart"].to_dict(),
+            battery["link_flap"].to_dict(),
+            battery["loss_burst"].to_dict(),
+        ]
+
+    def _report_bytes(self, tmp_path, tag, jobs):
+        from repro.analysis.runners import run_chaos_battery
+        from repro.obs.report import RunReport
+
+        records = run_chaos_battery(
+            schedules=self._battery(),
+            duration=0.03,
+            seeds=(1, 2),
+            farm=FarmExecutor(jobs=jobs),
+        )
+        path = tmp_path / f"chaos-{tag}.json"
+        # records only: farm progress snapshots carry wall-clock times
+        RunReport(name="chaos", records=records).save(str(path))
+        return path.read_bytes()
+
+    def test_chaos_battery_serial_vs_jobs4_byte_identical(self, tmp_path):
+        serial = self._report_bytes(tmp_path, "serial", jobs=1)
+        parallel = self._report_bytes(tmp_path, "jobs4", jobs=4)
+        assert serial == parallel
