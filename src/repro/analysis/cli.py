@@ -7,6 +7,12 @@ pytest.  Useful for quick exploration and for recording results:
     python -m repro fig6 --quick
     python -m repro casestudy
     python -m repro all --jobs 4
+    python -m repro plan run examples/plans/fig5.json --jobs 4
+
+Every figure/table command is an alias for a built-in declarative
+:class:`~repro.plan.plan.ExperimentPlan` (checked in as JSON under
+``examples/plans/``); ``python -m repro plan run|validate|list`` works
+with arbitrary user-written plans.
 
 Figure/table experiments run on the experiment farm (:mod:`repro.farm`):
 ``--jobs N`` shards their independent simulations over N worker
@@ -29,51 +35,40 @@ from repro.analysis.report import (
     render_series,
     render_table1,
 )
-from repro.analysis.runners import (
-    paper_table1_values,
-    run_chaos_battery,
-    run_fig4_tcp,
-    run_fig5_udp,
-    run_fig6_loss_correlation,
-    run_fig7_rtt,
-    run_fig8_jitter,
-    run_table1,
-)
+from repro.analysis.runners import paper_table1_values
 from repro.farm import FarmExecutor, FarmTaskError, ResultCache
+from repro.plan.builtin import builtin_plan
+from repro.scenarios.registry import scenario_names
 
 #: path of the --chaos spec file, set by main() before dispatch
 _CHAOS_SPEC: Optional[str] = None
 
+#: scenario for the `chaos` experiment, set by main() before dispatch
+_CHAOS_VARIANT: str = "central3"
+
 
 def _cmd_table1(quick: bool, farm: Optional[FarmExecutor]) -> list:
-    kwargs = dict(duration_tcp=0.06, duration_udp=0.04, ping_count=20,
-                  repetitions=1) if quick else {}
-    results = run_table1(farm=farm, **kwargs)
+    # one plan, one farm batch: the tcp/udp/rtt specs shard together
+    results = builtin_plan("table1", quick=quick).run(farm)
     print(render_table1(results, paper=paper_table1_values()))
     return [{"scenario": scenario, **metrics}
             for scenario, metrics in results.items()]
 
 
 def _cmd_fig4(quick: bool, farm: Optional[FarmExecutor]) -> list:
-    record = run_fig4_tcp(duration=0.06 if quick else 0.15,
-                          repetitions=1 if quick else 2, farm=farm)
+    record = builtin_plan("fig4", quick=quick).run(farm)
     print(render_record(record))
     return [record.to_dict()]
 
 
 def _cmd_fig5(quick: bool, farm: Optional[FarmExecutor]) -> list:
-    record = run_fig5_udp(duration=0.04 if quick else 0.08,
-                          iterations=6 if quick else 8, farm=farm)
+    record = builtin_plan("fig5", quick=quick).run(farm)
     print(render_record(record))
     return [record.to_dict()]
 
 
 def _cmd_fig6(quick: bool, farm: Optional[FarmExecutor]) -> list:
-    offered = (60, 180, 230, 270, 350) if quick else (
-        60, 120, 180, 210, 230, 250, 270, 300, 350)
-    points = run_fig6_loss_correlation(offered_mbps=offered,
-                                       duration=0.04 if quick else 0.08,
-                                       farm=farm)
+    points = builtin_plan("fig6", quick=quick).run(farm)
     print(render_series("Figure 6: Central3 goodput", "offered Mbit/s",
                         "goodput Mbit/s", [(o, round(g, 1)) for o, g, _ in points]))
     print(render_series("Figure 6: Central3 loss", "offered Mbit/s",
@@ -83,16 +78,13 @@ def _cmd_fig6(quick: bool, farm: Optional[FarmExecutor]) -> list:
 
 
 def _cmd_fig7(quick: bool, farm: Optional[FarmExecutor]) -> list:
-    record = run_fig7_rtt(count=20 if quick else 50,
-                          sequences=1 if quick else 3, farm=farm)
+    record = builtin_plan("fig7", quick=quick).run(farm)
     print(render_record(record))
     return [record.to_dict()]
 
 
 def _cmd_fig8(quick: bool, farm: Optional[FarmExecutor]) -> list:
-    sizes = (128, 512, 1470) if quick else (128, 256, 512, 1024, 1470)
-    series = run_fig8_jitter(payload_sizes=sizes,
-                             repetitions=1 if quick else 2, farm=farm)
+    series = builtin_plan("fig8", quick=quick).run(farm)
     records = []
     for scenario, points in series.items():
         print(render_series(f"Figure 8 — {scenario}", "payload B",
@@ -103,18 +95,14 @@ def _cmd_fig8(quick: bool, farm: Optional[FarmExecutor]) -> list:
 
 
 def _cmd_chaos(quick: bool, farm: Optional[FarmExecutor]) -> list:
-    from repro.chaos import FaultSchedule, builtin_battery
+    from repro.chaos import FaultSchedule
 
+    schedules = None
     if _CHAOS_SPEC is not None:
         schedules = [FaultSchedule.from_json_file(_CHAOS_SPEC).to_dict()]
-    else:
-        schedules = [s.to_dict() for s in builtin_battery().values()]
-    records = run_chaos_battery(
-        schedules=schedules,
-        duration=0.04 if quick else 0.06,
-        seeds=(1,) if quick else (1, 2),
-        farm=farm,
-    )
+    records = builtin_plan(
+        "chaos", quick=quick, schedules=schedules, variant=_CHAOS_VARIANT,
+    ).run(farm)
     for r in records:
         print(
             f"chaos {r['schedule']} seed={r['seed']}: "
@@ -218,10 +206,16 @@ def main(argv=None) -> int:
         from repro.obs.cli import obs_main
 
         return obs_main(argv[1:])
+    if argv and argv[0] == "plan":
+        # Declarative experiment plans: run/validate/list JSON plans.
+        from repro.plan.cli import plan_main
+
+        return plan_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the NetCo paper's tables and figures "
-                    "(`python -m repro obs --help` for observability tools).",
+                    "(`python -m repro plan --help` for declarative plans, "
+                    "`python -m repro obs --help` for observability tools).",
     )
     parser.add_argument(
         "experiment",
@@ -261,14 +255,20 @@ def main(argv=None) -> int:
              "the built-in battery)",
     )
     parser.add_argument(
+        "--variant", default="central3", choices=scenario_names(),
+        help="scenario for the `chaos` experiment (choices come from "
+             "the scenario registry)",
+    )
+    parser.add_argument(
         "--report", default=None, metavar="PATH",
         help="write a RunReport JSON (experiment records + farm progress) "
              "here after the run",
     )
     args = parser.parse_args(argv)
 
-    global _CHAOS_SPEC
+    global _CHAOS_SPEC, _CHAOS_VARIANT
     _CHAOS_SPEC = args.chaos
+    _CHAOS_VARIANT = args.variant
 
     names = sorted(COMMANDS) if args.experiment == "all" else [args.experiment]
     all_records = []

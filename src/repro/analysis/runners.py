@@ -5,52 +5,89 @@ the exact workloads that regenerate each result live in one place.
 Durations are scaled down from the paper's 10-second iperf runs to keep
 the suite fast; throughput is a rate, so the scaling preserves shape.
 
-Every runner decomposes into three pieces so the experiment farm
-(:mod:`repro.farm`) can shard it across processes:
+Since the plan refactor, every function here is a **thin shim** over the
+declarative layer (:mod:`repro.plan`): the grid each figure sweeps is
+described once by an :class:`~repro.plan.plan.ExperimentPlan` built in
+:mod:`repro.plan.builtin` (and checked in as JSON under
+``examples/plans/``).  The shims exist so the historical API keeps
+working byte-for-byte:
 
-* ``specs_*`` builds the list of :class:`~repro.farm.spec.RunSpec`
-  work items (each one an independent simulation, see
-  :mod:`repro.analysis.tasks`);
-* the farm executes them (inline when ``jobs=1``, sharded otherwise)
-  and returns results keyed by spec content hash;
-* ``merge_*`` folds the keyed results back into the figure's record.
+* ``specs_*`` builds the same :class:`~repro.farm.spec.RunSpec` list
+  the plan's ``expand()`` produces (identical content hashes, so old
+  cache entries stay valid);
+* ``run_*`` executes the plan on the farm (inline when no farm is
+  given) and returns the identically-merged record;
+* ``merge_*`` folds ``{spec.key: value}`` results through the same
+  merge registry the plans use.
 
 The merge is pure and driven by the (deterministic) spec list, never by
 completion order, so a parallel run is bit-identical to a serial one.
-Calling ``run_*`` without a farm executes inline with no caching —
-exactly the historical serial behaviour.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.analysis.records import ExperimentRecord, paper_value
+from repro.analysis.records import ExperimentRecord
 from repro.analysis.tasks import params_to_dict
 from repro.farm.executor import FarmExecutor
 from repro.farm.spec import RunSpec
+from repro.plan.builtin import (
+    chaos_plan,
+    fig4_plan,
+    fig5_plan,
+    fig6_plan,
+    fig7_plan,
+    fig8_plan,
+    jitter_params,
+    table1_plan,
+)
+from repro.plan.mergers import get_merger
+from repro.scenarios.registry import figure_scenarios, table1_scenarios
 from repro.scenarios.testbed import TestbedParams
 
-TABLE1_SCENARIOS = ("linespeed", "dup3", "dup5", "central3", "central5")
-ALL_SCENARIOS = ("linespeed", "dup3", "dup5", "central3", "central5", "pox3")
+#: scenario orderings — derived from the scenario registry, so a newly
+#: registered scenario appears here (and in the CLI) automatically
+TABLE1_SCENARIOS = table1_scenarios()
+ALL_SCENARIOS = figure_scenarios()
 
 #: ``{spec.key: task value}`` as returned by :meth:`FarmExecutor.run`
 FarmResults = Dict[str, Any]
 
+__all__ = [
+    "ALL_SCENARIOS",
+    "TABLE1_SCENARIOS",
+    "FarmResults",
+    "jitter_params",
+    "merge_fig4",
+    "merge_fig5",
+    "merge_fig6",
+    "merge_fig7",
+    "merge_fig8",
+    "merge_chaos",
+    "paper_table1_values",
+    "run_chaos_battery",
+    "run_fig4_tcp",
+    "run_fig5_udp",
+    "run_fig6_loss_correlation",
+    "run_fig7_rtt",
+    "run_fig8_jitter",
+    "run_table1",
+    "specs_chaos",
+    "specs_fig4",
+    "specs_fig5",
+    "specs_fig6",
+    "specs_fig7",
+    "specs_fig8",
+]
 
-def _run(farm: Optional[FarmExecutor], specs: List[RunSpec]) -> FarmResults:
-    """Execute specs on the given farm, or inline with no cache."""
-    return (farm if farm is not None else FarmExecutor()).run(specs)
 
-
-def _by_variant(specs: List[RunSpec], results: FarmResults) -> Dict[str, List[Any]]:
-    """Group task values by scenario, in spec order (never completion
-    order) — the heart of the deterministic merge."""
-    grouped: Dict[str, List[Any]] = {}
-    for spec in specs:
-        grouped.setdefault(spec.kwargs["variant"], []).append(results[spec.key])
-    return grouped
+def _stage_merge(plan, results: FarmResults):
+    """Merge a single-stage plan's results (shim for merge_* below)."""
+    stage = plan.stages[0]
+    return get_merger(stage.merge["kind"]).merge(
+        stage.expand(), results, stage.merge
+    )
 
 
 # ----------------------------------------------------------------------
@@ -63,35 +100,16 @@ def specs_fig4(
     seed: int,
     params: Optional[TestbedParams],
 ) -> List[RunSpec]:
-    pd = params_to_dict(params)
-    return [
-        RunSpec(
-            "fig4.tcp",
-            {
-                "variant": variant,
-                "duration": duration,
-                # alternate directions as the paper's 10+10 design does
-                "reverse": bool(rep % 2),
-                "params": pd,
-            },
-            seed=seed + rep,
-        )
-        for variant in scenarios
-        for rep in range(repetitions)
-    ]
+    return fig4_plan(
+        scenarios=scenarios, duration=duration, repetitions=repetitions,
+        seed=seed, params=params_to_dict(params),
+    ).expand()
 
 
 def merge_fig4(specs: List[RunSpec], results: FarmResults) -> ExperimentRecord:
-    record = ExperimentRecord("Figure 4", "TCP throughput")
-    for variant, samples in _by_variant(specs, results).items():
-        record.add(
-            variant,
-            "tcp_mbps",
-            sum(samples) / len(samples),
-            "Mbit/s",
-            paper_value=paper_value(variant, "tcp_mbps"),
-        )
-    return record
+    return get_merger("mean_record").merge(
+        specs, results, fig4_plan().stages[0].merge
+    )
 
 
 def run_fig4_tcp(
@@ -104,8 +122,10 @@ def run_fig4_tcp(
 ) -> ExperimentRecord:
     """TCP bulk throughput per scenario, alternating directions as the
     paper's 10-forward + 10-reverse design does."""
-    specs = specs_fig4(scenarios, duration, repetitions, seed, params)
-    return merge_fig4(specs, _run(farm, specs))
+    return fig4_plan(
+        scenarios=scenarios, duration=duration, repetitions=repetitions,
+        seed=seed, params=params_to_dict(params),
+    ).run(farm)
 
 
 # ----------------------------------------------------------------------
@@ -118,34 +138,16 @@ def specs_fig5(
     seed: int,
     params: Optional[TestbedParams],
 ) -> List[RunSpec]:
-    pd = params_to_dict(params)
-    return [
-        RunSpec(
-            "fig5.udp_max",
-            {
-                "variant": variant,
-                "duration": duration,
-                "iterations": iterations,
-                "params": pd,
-            },
-            seed=seed,
-        )
-        for variant in scenarios
-    ]
+    return fig5_plan(
+        scenarios=scenarios, duration=duration, iterations=iterations,
+        seed=seed, params=params_to_dict(params),
+    ).expand()
 
 
 def merge_fig5(specs: List[RunSpec], results: FarmResults) -> ExperimentRecord:
-    record = ExperimentRecord("Figure 5", "max UDP throughput at loss < 0.5%")
-    for variant, (sample,) in _by_variant(specs, results).items():
-        record.add(
-            variant,
-            "udp_mbps",
-            sample["mbps"],
-            "Mbit/s",
-            paper_value=paper_value(variant, "udp_mbps"),
-            loss_rate=sample["loss_rate"],
-        )
-    return record
+    return get_merger("udp_max_record").merge(
+        specs, results, fig5_plan().stages[0].merge
+    )
 
 
 def run_fig5_udp(
@@ -157,8 +159,10 @@ def run_fig5_udp(
     farm: Optional[FarmExecutor] = None,
 ) -> ExperimentRecord:
     """The paper's 'adjust -b until a maximum is reached' UDP search."""
-    specs = specs_fig5(scenarios, duration, iterations, seed, params)
-    return merge_fig5(specs, _run(farm, specs))
+    return fig5_plan(
+        scenarios=scenarios, duration=duration, iterations=iterations,
+        seed=seed, params=params_to_dict(params),
+    ).run(farm)
 
 
 # ----------------------------------------------------------------------
@@ -170,26 +174,16 @@ def specs_fig6(
     seed: int,
     params: Optional[TestbedParams],
 ) -> List[RunSpec]:
-    pd = params_to_dict(params)
-    return [
-        RunSpec(
-            "fig6.udp_point",
-            {
-                "variant": "central3",
-                "rate_mbps": rate,
-                "duration": duration,
-                "params": pd,
-            },
-            seed=seed,
-        )
-        for rate in offered_mbps
-    ]
+    return fig6_plan(
+        offered_mbps=offered_mbps, duration=duration, seed=seed,
+        params=params_to_dict(params),
+    ).expand()
 
 
 def merge_fig6(
     specs: List[RunSpec], results: FarmResults
 ) -> List[Tuple[float, float, float]]:
-    return [tuple(results[spec.key]) for spec in specs]
+    return get_merger("points").merge(specs, results, {})
 
 
 def run_fig6_loss_correlation(
@@ -201,8 +195,10 @@ def run_fig6_loss_correlation(
 ) -> List[Tuple[float, float, float]]:
     """Sweep offered UDP rate in Central3; return (offered, goodput,
     loss_rate) triples."""
-    specs = specs_fig6(offered_mbps, duration, seed, params)
-    return merge_fig6(specs, _run(farm, specs))
+    return fig6_plan(
+        offered_mbps=offered_mbps, duration=duration, seed=seed,
+        params=params_to_dict(params),
+    ).run(farm)
 
 
 # ----------------------------------------------------------------------
@@ -215,29 +211,16 @@ def specs_fig7(
     seed: int,
     params: Optional[TestbedParams],
 ) -> List[RunSpec]:
-    pd = params_to_dict(params)
-    return [
-        RunSpec(
-            "fig7.rtt",
-            {"variant": variant, "count": count, "params": pd},
-            seed=seed + rep,
-        )
-        for variant in scenarios
-        for rep in range(sequences)
-    ]
+    return fig7_plan(
+        scenarios=scenarios, count=count, sequences=sequences, seed=seed,
+        params=params_to_dict(params),
+    ).expand()
 
 
 def merge_fig7(specs: List[RunSpec], results: FarmResults) -> ExperimentRecord:
-    record = ExperimentRecord("Figure 7", "ping round-trip time")
-    for variant, samples in _by_variant(specs, results).items():
-        record.add(
-            variant,
-            "rtt_ms",
-            sum(samples) / len(samples),
-            "ms",
-            paper_value=paper_value(variant, "rtt_ms"),
-        )
-    return record
+    return get_merger("mean_record").merge(
+        specs, results, fig7_plan().stages[0].merge
+    )
 
 
 def run_fig7_rtt(
@@ -249,29 +232,15 @@ def run_fig7_rtt(
     farm: Optional[FarmExecutor] = None,
 ) -> ExperimentRecord:
     """Three sequences of 50 echo cycles per scenario (paper Figure 7)."""
-    specs = specs_fig7(scenarios, count, sequences, seed, params)
-    return merge_fig7(specs, _run(farm, specs))
+    return fig7_plan(
+        scenarios=scenarios, count=count, sequences=sequences, seed=seed,
+        params=params_to_dict(params),
+    ).run(farm)
 
 
 # ----------------------------------------------------------------------
 # Figure 8: jitter vs UDP packet size
 # ----------------------------------------------------------------------
-def jitter_params(base: Optional[TestbedParams] = None) -> TestbedParams:
-    """Parameters that expose the compare-cache cleanup mechanism.
-
-    The paper explains Figure 8 by cache pressure: many small packets
-    fill the compare's packet cache, each cleanup stalls the compare,
-    and the stalls surface as jitter.  A small cache and a longer buffer
-    timeout make the mechanism visible at the benchmark's packet rates.
-    """
-    base = base or TestbedParams()
-    return replace(
-        base,
-        compare_cache_capacity=32,
-        compare_buffer_timeout=20e-3,
-    )
-
-
 def specs_fig8(
     scenarios: Tuple[str, ...],
     payload_sizes: Tuple[int, ...],
@@ -281,42 +250,17 @@ def specs_fig8(
     seed: int,
     params: Optional[TestbedParams],
 ) -> List[RunSpec]:
-    tuned = params_to_dict(jitter_params(params))
-    return [
-        RunSpec(
-            "fig8.jitter",
-            {
-                "variant": variant,
-                "payload_size": size,
-                "rate_mbps": rate_mbps,
-                "duration": duration,
-                "params": tuned,
-            },
-            seed=seed + rep,
-        )
-        for variant in scenarios
-        for size in payload_sizes
-        for rep in range(repetitions)
-    ]
+    return fig8_plan(
+        scenarios=scenarios, payload_sizes=payload_sizes,
+        rate_mbps=rate_mbps, duration=duration, repetitions=repetitions,
+        seed=seed, params=params_to_dict(params),
+    ).expand()
 
 
 def merge_fig8(
     specs: List[RunSpec], results: FarmResults
 ) -> Dict[str, List[Tuple[int, float]]]:
-    # group (variant, size) -> samples in spec order
-    grouped: Dict[str, Dict[int, List[float]]] = {}
-    for spec in specs:
-        by_size = grouped.setdefault(spec.kwargs["variant"], {})
-        by_size.setdefault(spec.kwargs["payload_size"], []).append(
-            results[spec.key]
-        )
-    return {
-        variant: [
-            (size, sum(samples) / len(samples))
-            for size, samples in by_size.items()
-        ]
-        for variant, by_size in grouped.items()
-    }
+    return get_merger("size_series").merge(specs, results, {})
 
 
 def run_fig8_jitter(
@@ -333,10 +277,11 @@ def run_fig8_jitter(
 
     Returns ``{scenario: [(size, jitter_ms), ...]}``.
     """
-    specs = specs_fig8(
-        scenarios, payload_sizes, rate_mbps, duration, repetitions, seed, params
-    )
-    return merge_fig8(specs, _run(farm, specs))
+    return fig8_plan(
+        scenarios=scenarios, payload_sizes=payload_sizes,
+        rate_mbps=rate_mbps, duration=duration, repetitions=repetitions,
+        seed=seed, params=params_to_dict(params),
+    ).run(farm)
 
 
 # ----------------------------------------------------------------------
@@ -352,29 +297,17 @@ def specs_chaos(
 ) -> List[RunSpec]:
     """One spec per (schedule, seed): each is an independent chaos run,
     so a battery shards across farm jobs like any figure."""
-    pd = params_to_dict(params)
-    return [
-        RunSpec(
-            "chaos.run",
-            {
-                "variant": variant,
-                "schedule": schedule,
-                "duration": duration,
-                "rate_mbps": rate_mbps,
-                "params": pd,
-            },
-            seed=seed,
-        )
-        for schedule in schedules
-        for seed in seeds
-    ]
+    return chaos_plan(
+        schedules=schedules, duration=duration, rate_mbps=rate_mbps,
+        seeds=seeds, params=params_to_dict(params), variant=variant,
+    ).expand()
 
 
 def merge_chaos(
     specs: List[RunSpec], results: FarmResults
 ) -> List[Dict[str, Any]]:
     """Survivability records in spec order (schedule-major, seed-minor)."""
-    return [results[spec.key] for spec in specs]
+    return get_merger("records_list").merge(specs, results, {})
 
 
 def run_chaos_battery(
@@ -392,16 +325,14 @@ def run_chaos_battery(
     built-in battery.  Returns one survivability record per
     (schedule, seed), in deterministic spec order.
     """
-    if schedules is None:
-        from repro.chaos import builtin_battery
-
-        schedules = [s.to_dict() for s in builtin_battery().values()]
-    specs = specs_chaos(schedules, duration, rate_mbps, seeds, params, variant)
-    return merge_chaos(specs, _run(farm, specs))
+    return chaos_plan(
+        schedules=schedules, duration=duration, rate_mbps=rate_mbps,
+        seeds=seeds, params=params_to_dict(params), variant=variant,
+    ).run(farm)
 
 
 # ----------------------------------------------------------------------
-# Table I: the three averages together
+# Table I: the three averages together, one farm batch
 # ----------------------------------------------------------------------
 def run_table1(
     duration_tcp: float = 0.15,
@@ -412,31 +343,17 @@ def run_table1(
     params: Optional[TestbedParams] = None,
     farm: Optional[FarmExecutor] = None,
 ) -> Dict[str, Dict[str, float]]:
-    """Reproduce Table I; returns ``values[metric][scenario]``."""
-    tcp = run_fig4_tcp(
-        TABLE1_SCENARIOS,
-        duration=duration_tcp,
-        repetitions=repetitions,
-        seed=seed,
-        params=params,
-        farm=farm,
-    )
-    udp = run_fig5_udp(
-        TABLE1_SCENARIOS, duration=duration_udp, seed=seed, params=params,
-        farm=farm,
-    )
-    rtt = run_fig7_rtt(
-        TABLE1_SCENARIOS, count=ping_count, sequences=repetitions, seed=seed,
-        params=params, farm=farm,
-    )
-    values: Dict[str, Dict[str, float]] = {"tcp_mbps": {}, "udp_mbps": {}, "rtt_ms": {}}
-    for row in tcp.rows:
-        values["tcp_mbps"][row.scenario] = row.value
-    for row in udp.rows:
-        values["udp_mbps"][row.scenario] = row.value
-    for row in rtt.rows:
-        values["rtt_ms"][row.scenario] = row.value
-    return values
+    """Reproduce Table I; returns ``values[metric][scenario]``.
+
+    The TCP, UDP and RTT stages expand into a single farm batch (shards
+    never idle between metrics); per-sample values and the merged table
+    are bit-identical to the historical three-batch run.
+    """
+    return table1_plan(
+        duration_tcp=duration_tcp, duration_udp=duration_udp,
+        ping_count=ping_count, repetitions=repetitions, seed=seed,
+        params=params_to_dict(params),
+    ).run(farm)
 
 
 def paper_table1_values() -> Dict[str, Dict[str, float]]:

@@ -40,6 +40,25 @@ def params_from_dict(data: Optional[Dict[str, Any]]) -> TestbedParams:
     return TestbedParams(**data) if data else TestbedParams()
 
 
+def build_scenario(
+    variant: str,
+    params: Any = None,
+    seed: int = 0,
+):
+    """The one scenario-building path every farm task goes through.
+
+    ``params`` may be ``None`` (calibrated defaults), the JSON dict form
+    a :class:`~repro.farm.spec.RunSpec` carries (full *or* partial —
+    unset fields keep their defaults), or an already-built
+    :class:`TestbedParams`.  The variant is resolved through the
+    scenario registry, so an unknown name fails with the registry's
+    canonical message before any simulation work starts.
+    """
+    if not isinstance(params, TestbedParams):
+        params = params_from_dict(params)
+    return build_testbed(variant, params=params, seed=seed)
+
+
 @register_runner("fig4.tcp")
 def tcp_throughput_sample(
     variant: str,
@@ -49,7 +68,7 @@ def tcp_throughput_sample(
     params: Optional[Dict[str, Any]] = None,
 ) -> float:
     """One TCP bulk-transfer run; returns throughput in Mbit/s."""
-    testbed = build_testbed(variant, params=params_from_dict(params), seed=seed)
+    testbed = build_scenario(variant, params, seed)
     path = testbed.path(reverse=reverse)
     return run_tcp_flow(path, duration=duration).throughput_mbps
 
@@ -66,7 +85,7 @@ def udp_max_rate_search(
     one scenario; each probe uses a fresh testbed instance."""
     base = params_from_dict(params)
     rate, result = find_max_udp_rate(
-        lambda: build_testbed(variant, params=base, seed=seed).path(),
+        lambda: build_scenario(variant, base, seed).path(),
         duration=duration,
         iterations=iterations,
         send_cost=base.udp_send_cost,
@@ -90,7 +109,7 @@ def udp_offered_point(
     ``[offered_mbps, goodput_mbps, loss_rate]``."""
     base = params_from_dict(params)
     result = run_udp_flow(
-        build_testbed(variant, params=base, seed=seed).path(),
+        build_scenario(variant, base, seed).path(),
         rate_bps=rate_mbps * 1e6,
         duration=duration,
         send_cost=base.udp_send_cost,
@@ -106,7 +125,7 @@ def rtt_sample(
     params: Optional[Dict[str, Any]] = None,
 ) -> float:
     """One sequence of ``count`` echo cycles; returns average RTT (ms)."""
-    testbed = build_testbed(variant, params=params_from_dict(params), seed=seed)
+    testbed = build_scenario(variant, params, seed)
     return run_ping(testbed.path(), count=count, interval=1e-3).avg_rtt_ms
 
 
@@ -143,7 +162,7 @@ def chaos_run(
     combiner shows ``post_quarantine_gaps == 0``).
     """
     base = replace(params_from_dict(params), compare_buffer_timeout=buffer_timeout)
-    testbed = build_testbed(variant, params=base, seed=seed)
+    testbed = build_scenario(variant, base, seed)
     net = testbed.network
     core = testbed.compare_core
     # Availability knobs are read dynamically by the compare, so tuning
@@ -229,7 +248,7 @@ def jitter_sample(
 ) -> float:
     """One fixed-bitrate UDP run; returns RFC 3550 jitter (ms)."""
     result = run_udp_flow(
-        build_testbed(variant, params=params_from_dict(params), seed=seed).path(),
+        build_scenario(variant, params, seed).path(),
         rate_bps=rate_mbps * 1e6,
         duration=duration,
         payload_size=payload_size,

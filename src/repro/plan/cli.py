@@ -1,0 +1,199 @@
+"""``python -m repro plan`` — run, validate and list experiment plans.
+
+    python -m repro plan list
+    python -m repro plan validate examples/plans/*.json
+    python -m repro plan run examples/plans/fig5.json --jobs 4
+    python -m repro plan run table1 --quick
+
+``run`` accepts a plan JSON path or a built-in plan name.  Everything
+deterministic (the merged figure records) goes to stdout; farm
+telemetry (wall times, cache hit rates) goes to stderr — so a
+``--jobs N`` run's stdout is byte-identical to the serial run's, which
+CI exploits with a plain ``diff``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import render_farm_summary
+from repro.farm import FarmExecutor, FarmTaskError, ResultCache
+from repro.plan.builtin import builtin_plan, builtin_plan_names
+from repro.plan.mergers import get_combiner, get_merger
+from repro.plan.plan import ExperimentPlan
+
+#: where the shipped plan artefacts live, relative to the repo root
+PLAN_DIR = os.path.join("examples", "plans")
+
+
+def resolve_plan(ref: str, quick: bool = False) -> ExperimentPlan:
+    """A plan from a JSON path, or a built-in plan by name."""
+    if os.path.exists(ref):
+        if quick:
+            raise ValueError("--quick only applies to built-in plan names")
+        return ExperimentPlan.load(ref)
+    if ref in builtin_plan_names():
+        return builtin_plan(ref, quick=quick)
+    raise ValueError(
+        f"no plan file {ref!r} and no built-in plan of that name "
+        f"(built-ins: {list(builtin_plan_names())})"
+    )
+
+
+def _render_output(plan: ExperimentPlan, staged, combined) -> str:
+    """Deterministic text for one finished plan run."""
+    if plan.combine is not None:
+        return get_combiner(plan.combine).render(combined)
+    blocks = []
+    for stage in plan.stages:
+        merger = get_merger(stage.merge["kind"])
+        blocks.append(merger.render(staged[stage.name], stage.merge))
+    return "\n".join(blocks)
+
+
+def plan_records(plan: ExperimentPlan, staged, combined) -> List[dict]:
+    """Flattened report records for one finished plan run."""
+    if plan.combine is not None:
+        return get_combiner(plan.combine).records(combined)
+    records: List[dict] = []
+    for stage in plan.stages:
+        merger = get_merger(stage.merge["kind"])
+        for record in merger.records(staged[stage.name], stage.merge):
+            records.append({"stage": stage.name, **record})
+    return records
+
+
+def _cmd_list() -> int:
+    for name in builtin_plan_names():
+        plan = builtin_plan(name)
+        specs = plan.expand()
+        path = os.path.join(PLAN_DIR, f"{name}.json")
+        where = path if os.path.exists(path) else "(built-in)"
+        print(f"{name:8s} stages={len(plan.stages)} specs={len(specs):3d}  "
+              f"{where}")
+        if plan.description:
+            print(f"         {plan.description}")
+    return 0
+
+
+def _cmd_validate(refs: List[str]) -> int:
+    failed = 0
+    for ref in refs:
+        try:
+            plan = resolve_plan(ref)
+            plan.validate()
+            # the serialisation contract: a valid plan must round-trip
+            reparsed = ExperimentPlan.from_json(plan.to_json())
+            if reparsed.to_json() != plan.to_json():
+                raise ValueError("plan does not round-trip to identical JSON")
+            specs = plan.expand()
+        except (ValueError, OSError) as exc:
+            print(f"{ref}: INVALID — {exc}", file=sys.stderr)
+            failed += 1
+            continue
+        print(f"{ref}: ok ({len(plan.stages)} stage(s), {len(specs)} spec(s))")
+    return 1 if failed else 0
+
+
+def _cmd_run(args) -> int:
+    try:
+        plan = resolve_plan(args.plan, quick=args.quick)
+        plan.validate()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    farm = FarmExecutor(
+        jobs=args.jobs,
+        cache=None if args.no_cache else ResultCache(root=args.cache_dir),
+        timeout=args.task_timeout,
+    )
+    try:
+        results = farm.run(plan.expand())
+    except FarmTaskError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if farm.progress.queued:
+            print(render_farm_summary(farm.progress, cache=farm.cache),
+                  file=sys.stderr)
+        return 1
+    staged = plan.merge_stages(results)
+    combined = plan.merge(results)
+    print(_render_output(plan, staged, combined))
+    if farm.progress.queued:
+        print(render_farm_summary(farm.progress, cache=farm.cache),
+              file=sys.stderr)
+    if args.report:
+        from repro.obs.report import RunReport, diff_reports
+
+        report = RunReport(
+            name=plan.name,
+            meta={"plan": plan.name, "jobs": args.jobs, "quick": args.quick},
+            records=plan_records(plan, staged, combined),
+            farm={plan.name: farm.progress.snapshot()},
+        )
+        report.save(args.report)
+        print(f"[run report written to {args.report}]", file=sys.stderr)
+        if plan.baseline:
+            base = RunReport.load(plan.baseline)
+            watches = plan.watch_rules()
+            findings = (
+                diff_reports(base, report, watches)
+                if watches else diff_reports(base, report)
+            )
+            breached = [f for f in findings if f.breached]
+            for finding in findings:
+                print(finding.describe(), file=sys.stderr)
+            if breached:
+                print(f"error: {len(breached)} watched counter(s) regressed "
+                      f"vs {plan.baseline}", file=sys.stderr)
+                return 1
+    return 0
+
+
+def plan_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro plan",
+        description="Declarative experiment plans over the experiment farm.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list built-in plans and their artefacts")
+
+    p_validate = sub.add_parser(
+        "validate", help="validate plan files (schema, scenarios, "
+                         "schedules, round-trip)")
+    p_validate.add_argument("plans", nargs="+", metavar="PLAN",
+                            help="plan JSON path or built-in name")
+
+    p_run = sub.add_parser("run", help="expand a plan onto the farm and "
+                                       "merge the results")
+    p_run.add_argument("plan", metavar="PLAN",
+                       help="plan JSON path or built-in name")
+    p_run.add_argument("--quick", action="store_true",
+                       help="built-in plans only: shorter durations / "
+                            "fewer repetitions")
+    p_run.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="shard simulations over N worker processes")
+    p_run.add_argument("--no-cache", action="store_true",
+                       help="disable the on-disk result cache")
+    p_run.add_argument("--cache-dir", default=".repro-cache", metavar="DIR",
+                       help="result-cache location (default .repro-cache/)")
+    p_run.add_argument("--task-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-task wall-clock timeout on the farm")
+    p_run.add_argument("--report", default=None, metavar="PATH",
+                       help="write a RunReport JSON here; diffed against "
+                            "the plan's baseline when one is declared")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "validate":
+        return _cmd_validate(args.plans)
+    return _cmd_run(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(plan_main())

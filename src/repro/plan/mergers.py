@@ -1,0 +1,341 @@
+"""The merge registry: named recipes folding farm results into figures.
+
+Each :class:`Merger` is a pure function over ``(specs, results)`` plus
+declarative options from the plan JSON (``{"kind": "mean_record",
+"metric": "tcp_mbps", ...}``), with companions that turn the merged
+value into report records and deterministic text.  Merging walks the
+spec list — never completion order — so a sharded run folds to the same
+bytes as a serial one; the recipes here are the exact generic forms of
+the historical ``merge_fig*`` functions, which survive as one-line
+shims over this registry.
+
+:class:`Combiner` recipes fold *multi-stage* plans one step further
+(Table I folds three metric records into one scenario × metric table).
+
+The :mod:`repro.analysis` imports are deliberately function-local:
+``repro.plan`` must be importable without touching the analysis
+package, whose runners import the plan builders (the cycle is broken
+here, at the data edge, where the import only happens at merge time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = [
+    "Merger",
+    "Combiner",
+    "get_merger",
+    "get_combiner",
+    "merger_kinds",
+    "combiner_names",
+]
+
+
+def _records_mod():
+    from repro.analysis import records
+
+    return records
+
+
+def _report_mod():
+    from repro.analysis import report
+
+    return report
+
+
+@dataclass(frozen=True)
+class Merger:
+    """One registered merge recipe.
+
+    ``merge(specs, results, options)`` folds task values; ``records``
+    flattens the merged value for a RunReport; ``render`` produces the
+    deterministic text ``repro plan run`` prints; ``required`` names the
+    options :meth:`check` insists on at validate() time.
+    """
+
+    kind: str
+    merge: Callable[[List[Any], Dict[str, Any], Dict[str, Any]], Any]
+    records: Callable[[Any, Dict[str, Any]], List[Dict[str, Any]]]
+    render: Callable[[Any, Dict[str, Any]], str]
+    required: tuple = ()
+
+    def check(self, stage: str, options: Dict[str, Any]) -> None:
+        missing = [key for key in self.required if key not in options]
+        if missing:
+            raise ValueError(
+                f"stage {stage!r}: merge kind {self.kind!r} needs "
+                f"option(s) {missing}"
+            )
+
+
+@dataclass(frozen=True)
+class Combiner:
+    """A registered multi-stage fold: ``{stage name: merged} -> value``."""
+
+    name: str
+    combine: Callable[[Dict[str, Any]], Any]
+    records: Callable[[Any], List[Dict[str, Any]]]
+    render: Callable[[Any], str]
+
+
+_MERGERS: Dict[str, Merger] = {}
+_COMBINERS: Dict[str, Combiner] = {}
+
+
+def register_merger(merger: Merger) -> Merger:
+    _MERGERS[merger.kind] = merger
+    return merger
+
+
+def register_combiner(combiner: Combiner) -> Combiner:
+    _COMBINERS[combiner.name] = combiner
+    return combiner
+
+
+def get_merger(kind: str) -> Merger:
+    merger = _MERGERS.get(kind)
+    if merger is None:
+        raise ValueError(
+            f"unknown merge kind {kind!r}; registered: {merger_kinds()}"
+        )
+    return merger
+
+
+def get_combiner(name: str) -> Combiner:
+    combiner = _COMBINERS.get(name)
+    if combiner is None:
+        raise ValueError(
+            f"unknown combine recipe {name!r}; registered: {combiner_names()}"
+        )
+    return combiner
+
+
+def merger_kinds() -> List[str]:
+    return sorted(_MERGERS)
+
+
+def combiner_names() -> List[str]:
+    return sorted(_COMBINERS)
+
+
+def _json_text(value: Any) -> str:
+    import json
+
+    return json.dumps(value, indent=2, sort_keys=True)
+
+
+def group_by_variant(specs, results) -> Dict[str, List[Any]]:
+    """Task values grouped by scenario, in spec order (never completion
+    order) — the heart of every deterministic record merge."""
+    grouped: Dict[str, List[Any]] = {}
+    for spec in specs:
+        grouped.setdefault(spec.kwargs["variant"], []).append(results[spec.key])
+    return grouped
+
+
+# ----------------------------------------------------------------------
+# mean_record: per-scenario sample mean -> ExperimentRecord (figs 4, 7)
+# ----------------------------------------------------------------------
+def _merge_mean_record(specs, results, options):
+    records = _records_mod()
+    record = records.ExperimentRecord(options["experiment"], options["description"])
+    metric, unit = options["metric"], options["unit"]
+    for variant, samples in group_by_variant(specs, results).items():
+        record.add(
+            variant,
+            metric,
+            sum(samples) / len(samples),
+            unit,
+            paper_value=records.paper_value(variant, metric),
+        )
+    return record
+
+
+def _record_records(merged, options) -> List[Dict[str, Any]]:
+    return [merged.to_dict()]
+
+
+def _record_render(merged, options) -> str:
+    return _report_mod().render_record(merged)
+
+
+register_merger(Merger(
+    kind="mean_record",
+    merge=_merge_mean_record,
+    records=_record_records,
+    render=_record_render,
+    required=("experiment", "description", "metric", "unit"),
+))
+
+
+# ----------------------------------------------------------------------
+# udp_max_record: one rate-search sample per scenario (fig 5)
+# ----------------------------------------------------------------------
+def _merge_udp_max_record(specs, results, options):
+    records = _records_mod()
+    record = records.ExperimentRecord(options["experiment"], options["description"])
+    metric, unit = options["metric"], options["unit"]
+    for variant, (sample,) in group_by_variant(specs, results).items():
+        record.add(
+            variant,
+            metric,
+            sample["mbps"],
+            unit,
+            paper_value=records.paper_value(variant, metric),
+            loss_rate=sample["loss_rate"],
+        )
+    return record
+
+
+register_merger(Merger(
+    kind="udp_max_record",
+    merge=_merge_udp_max_record,
+    records=_record_records,
+    render=_record_render,
+    required=("experiment", "description", "metric", "unit"),
+))
+
+
+# ----------------------------------------------------------------------
+# points: task values in spec order, as tuples (fig 6 sweeps)
+# ----------------------------------------------------------------------
+def _merge_points(specs, results, options):
+    return [tuple(results[spec.key]) for spec in specs]
+
+
+def _points_records(merged, options) -> List[Dict[str, Any]]:
+    fields = options.get("fields")
+    if fields:
+        return [dict(zip(fields, point)) for point in merged]
+    return [{"point": list(point)} for point in merged]
+
+
+def _points_render(merged, options) -> str:
+    return _json_text(_points_records(merged, options))
+
+
+register_merger(Merger(
+    kind="points",
+    merge=_merge_points,
+    records=_points_records,
+    render=_points_render,
+))
+
+
+# ----------------------------------------------------------------------
+# size_series: mean per (scenario, payload size) (fig 8)
+# ----------------------------------------------------------------------
+def _merge_size_series(specs, results, options):
+    axis = options.get("axis", "payload_size")
+    grouped: Dict[str, Dict[Any, List[float]]] = {}
+    for spec in specs:
+        by_size = grouped.setdefault(spec.kwargs["variant"], {})
+        by_size.setdefault(spec.kwargs[axis], []).append(results[spec.key])
+    return {
+        variant: [
+            (size, sum(samples) / len(samples))
+            for size, samples in by_size.items()
+        ]
+        for variant, by_size in grouped.items()
+    }
+
+
+def _size_series_records(merged, options) -> List[Dict[str, Any]]:
+    return [
+        {"scenario": variant, "points": [[size, value] for size, value in points]}
+        for variant, points in merged.items()
+    ]
+
+
+def _size_series_render(merged, options) -> str:
+    report = _report_mod()
+    axis = options.get("axis", "payload_size")
+    unit = options.get("unit", "")
+    blocks = [
+        report.render_series(
+            variant, axis, unit, [(size, round(value, 5)) for size, value in points]
+        )
+        for variant, points in merged.items()
+    ]
+    return "\n".join(blocks)
+
+
+register_merger(Merger(
+    kind="size_series",
+    merge=_merge_size_series,
+    records=_size_series_records,
+    render=_size_series_render,
+))
+
+
+# ----------------------------------------------------------------------
+# records_list: raw task records in spec order (chaos batteries)
+# ----------------------------------------------------------------------
+def _merge_records_list(specs, results, options):
+    return [results[spec.key] for spec in specs]
+
+
+def _records_list_records(merged, options) -> List[Dict[str, Any]]:
+    return list(merged)
+
+
+def _records_list_render(merged, options) -> str:
+    return _json_text(merged)
+
+
+register_merger(Merger(
+    kind="records_list",
+    merge=_merge_records_list,
+    records=_records_list_records,
+    render=_records_list_render,
+))
+
+
+# ----------------------------------------------------------------------
+# metric_table: fold stage records into values[metric][scenario]
+# (Table I: the tcp/udp/rtt stages of one plan)
+# ----------------------------------------------------------------------
+def _combine_metric_table(staged: Dict[str, Any]) -> Dict[str, Dict[str, float]]:
+    values: Dict[str, Dict[str, float]] = {}
+    for record in staged.values():
+        for row in record.rows:
+            values.setdefault(row.metric, {})[row.scenario] = row.value
+    return values
+
+
+def _metric_table_records(values) -> List[Dict[str, Any]]:
+    scenarios: List[str] = []
+    for per_scenario in values.values():
+        for scenario in per_scenario:
+            if scenario not in scenarios:
+                scenarios.append(scenario)
+    return [
+        {
+            "scenario": scenario,
+            **{
+                metric: per_scenario[scenario]
+                for metric, per_scenario in values.items()
+                if scenario in per_scenario
+            },
+        }
+        for scenario in scenarios
+    ]
+
+
+def _metric_table_render(values) -> str:
+    records = _records_mod()
+    report = _report_mod()
+    paper: Dict[str, Dict[str, float]] = {}
+    for (scenario, metric), value in records.PAPER_TABLE1.items():
+        paper.setdefault(metric, {})[scenario] = value
+    return report.render_table1(values, paper=paper)
+
+
+register_combiner(Combiner(
+    name="metric_table",
+    combine=_combine_metric_table,
+    records=_metric_table_records,
+    render=_metric_table_render,
+))

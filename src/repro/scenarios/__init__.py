@@ -6,6 +6,14 @@ from repro.scenarios.datacenter import (
     DatacenterCaseStudy,
     ScreeningReport,
 )
+from repro.scenarios.registry import (
+    ScenarioSpec,
+    figure_scenarios,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+    table1_scenarios,
+)
 from repro.scenarios.testbed import (
     Testbed,
     TestbedParams,
@@ -27,6 +35,12 @@ __all__ = [
     "CaseStudyResult",
     "DatacenterCaseStudy",
     "ScreeningReport",
+    "ScenarioSpec",
+    "figure_scenarios",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
+    "table1_scenarios",
     "Testbed",
     "TestbedParams",
     "VARIANTS",

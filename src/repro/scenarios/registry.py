@@ -1,0 +1,135 @@
+"""The scenario registry: one typed record per evaluation scenario.
+
+Every Section V testbed variant is registered here once, as a
+:class:`ScenarioSpec` carrying the builder parameters (replication
+factor, endpoint mode, compare transport) *and* the presentation
+metadata the rest of the stack needs (paper-figure ordering, Table I
+membership).  Everything that used to be a hand-maintained list —
+``testbed.VARIANTS``, ``runners.ALL_SCENARIOS``/``TABLE1_SCENARIOS``,
+CLI ``choices`` and validation messages, experiment-plan validation —
+derives from this registry, so registering a new scenario propagates it
+everywhere at once and nothing can desynchronise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.endpoint import MODE_COMBINE, MODE_DUP
+
+__all__ = [
+    "ScenarioSpec",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "figure_scenarios",
+    "table1_scenarios",
+    "unknown_scenario_error",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Typed builder parameters + metadata for one testbed variant."""
+
+    name: str
+    k: int                 # replication factor (number of parallel routers)
+    mode: str              # MODE_COMBINE (full NetCo) or MODE_DUP (split only)
+    transport: str         # compare transport: "inline" or "controller"
+    title: str = ""        # human-readable label
+    figure_order: int = 0  # column order in the paper's figures/Table I
+    in_table1: bool = True # does the paper's Table I include this scenario?
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        if self.k < 1:
+            raise ValueError(f"{self.name}: k must be >= 1, got {self.k}")
+        if self.mode not in (MODE_COMBINE, MODE_DUP):
+            raise ValueError(f"{self.name}: unknown endpoint mode {self.mode!r}")
+        if self.transport not in ("inline", "controller"):
+            raise ValueError(
+                f"{self.name}: unknown compare transport {self.transport!r}"
+            )
+
+
+#: name -> spec, in registration order (the order ``VARIANTS`` exposes)
+_SCENARIOS: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
+    """Validate and register one scenario (idempotent re-registration of
+    an identical spec is allowed; redefinition is not)."""
+    spec.validate()
+    existing = _SCENARIOS.get(spec.name)
+    if existing is not None and existing != spec:
+        raise ValueError(f"scenario {spec.name!r} already registered differently")
+    _SCENARIOS[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    spec = _SCENARIOS.get(name)
+    if spec is None:
+        raise ValueError(unknown_scenario_error(name))
+    return spec
+
+
+def unknown_scenario_error(name: str) -> str:
+    """The one error message every layer shows for a bad scenario name."""
+    return (
+        f"unknown testbed variant {name!r}; pick from {scenario_names()}"
+    )
+
+
+def scenario_names() -> Tuple[str, ...]:
+    """All registered scenario names, in registration order."""
+    return tuple(_SCENARIOS)
+
+
+def figure_scenarios() -> Tuple[str, ...]:
+    """Scenario names in the paper's figure/column order."""
+    return tuple(
+        s.name for s in sorted(_SCENARIOS.values(), key=lambda s: s.figure_order)
+    )
+
+
+def table1_scenarios() -> Tuple[str, ...]:
+    """The Table I scenarios, in the paper's column order."""
+    return tuple(
+        s.name
+        for s in sorted(_SCENARIOS.values(), key=lambda s: s.figure_order)
+        if s.in_table1
+    )
+
+
+# ----------------------------------------------------------------------
+# the Section V-A scenarios (Figure 3 testbed variants)
+# ----------------------------------------------------------------------
+# Registration order is the historical ``VARIANTS`` tuple;
+# ``figure_order`` is the paper's column order (``ALL_SCENARIOS``).
+register_scenario(ScenarioSpec(
+    "linespeed", k=1, mode=MODE_DUP, transport="inline",
+    title="Linespeed", figure_order=0,
+))
+register_scenario(ScenarioSpec(
+    "central3", k=3, mode=MODE_COMBINE, transport="inline",
+    title="Central3", figure_order=3,
+))
+register_scenario(ScenarioSpec(
+    "central5", k=5, mode=MODE_COMBINE, transport="inline",
+    title="Central5", figure_order=4,
+))
+register_scenario(ScenarioSpec(
+    "pox3", k=3, mode=MODE_COMBINE, transport="controller",
+    title="POX3", figure_order=5, in_table1=False,
+))
+register_scenario(ScenarioSpec(
+    "dup3", k=3, mode=MODE_DUP, transport="inline",
+    title="Dup3", figure_order=1,
+))
+register_scenario(ScenarioSpec(
+    "dup5", k=5, mode=MODE_DUP, transport="inline",
+    title="Dup5", figure_order=2,
+))

@@ -22,7 +22,7 @@ sender cost (iperf's syscall path), and a receive path costing
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.core.combiner import (
     CombinerChain,
@@ -30,12 +30,18 @@ from repro.core.combiner import (
     build_combiner_chain,
 )
 from repro.core.compare import CompareConfig
-from repro.core.endpoint import MODE_COMBINE, MODE_DUP
 from repro.net.host import Host
 from repro.net.topology import Network
+from repro.scenarios.registry import (
+    ScenarioSpec,
+    get_scenario,
+    scenario_names,
+)
 from repro.traffic.iperf import PathEndpoints
 
-VARIANTS = ("linespeed", "central3", "central5", "pox3", "dup3", "dup5")
+#: all registered variant names — derived from the scenario registry
+#: (:mod:`repro.scenarios.registry`), never maintained by hand here.
+VARIANTS = scenario_names()
 
 
 @dataclass
@@ -83,17 +89,6 @@ class TestbedParams:
         )
 
 
-#: variant -> (k, endpoint mode, compare transport)
-_VARIANT_SPECS: Dict[str, tuple] = {
-    "linespeed": (1, MODE_DUP, "inline"),
-    "central3": (3, MODE_COMBINE, "inline"),
-    "central5": (5, MODE_COMBINE, "inline"),
-    "pox3": (3, MODE_COMBINE, "controller"),
-    "dup3": (3, MODE_DUP, "inline"),
-    "dup5": (5, MODE_DUP, "inline"),
-}
-
-
 class Testbed:
     """A built Figure 3 scenario: network, hosts, combiner chain."""
 
@@ -136,12 +131,11 @@ def build_testbed(
     seed: Optional[int] = None,
 ) -> Testbed:
     """Build one Section V scenario from scratch."""
-    if variant not in _VARIANT_SPECS:
-        raise ValueError(f"unknown testbed variant {variant!r}; pick from {VARIANTS}")
+    spec: ScenarioSpec = get_scenario(variant)
     params = params or TestbedParams()
     if seed is not None:
         params = replace(params, seed=seed)
-    k, mode, transport = _VARIANT_SPECS[variant]
+    k, mode, transport = spec.k, spec.mode, spec.transport
 
     net = Network(seed=params.seed)
     chain_params = CombinerChainParams(
