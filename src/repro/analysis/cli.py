@@ -114,6 +114,27 @@ def _cmd_chaos(quick: bool, farm: Optional[FarmExecutor]) -> list:
     return records
 
 
+def _cmd_ctrlbft(quick: bool, farm: Optional[FarmExecutor]) -> list:
+    records = builtin_plan("ctrlbft", quick=quick).run(farm)
+    for r in records:
+        detect = (
+            f"{r['detection_latency']:.4f}"
+            if r["detection_latency"] is not None
+            else "-"
+        )
+        print(
+            f"ctrlbft {r['variant']} ctrl_k={r['ctrl_k']} "
+            f"adversary={r['adversary']} seed={r['seed']}: "
+            f"sent={r['sent']} received={r['received']} "
+            f"loss_rate={r['loss_rate']:.4f} fp={r['data_fingerprint']} "
+            f"blocked={r['ctrl']['blocked']} "
+            f"malicious_installed={r['malicious_installed']} "
+            f"ctrl_quarantined={r['ctrl_quarantined']} "
+            f"detection_latency={detect}"
+        )
+    return records
+
+
 def _cmd_casestudy(quick: bool, farm: Optional[FarmExecutor]) -> list:
     from repro.analysis.report import format_table
     from repro.scenarios.datacenter import DatacenterCaseStudy
@@ -193,6 +214,7 @@ COMMANDS: Dict[str, Callable[[bool, Optional[FarmExecutor]], list]] = {
     "fig8": _cmd_fig8,
     "casestudy": _cmd_casestudy,
     "chaos": _cmd_chaos,
+    "ctrlbft": _cmd_ctrlbft,
     "virtualized": _cmd_virtualized,
 }
 

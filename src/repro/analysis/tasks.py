@@ -15,11 +15,19 @@ merge functions.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import asdict, replace
 from typing import Any, Dict, List, Optional
 
-from repro.chaos import ChaosEngine, FaultSchedule, QuarantineController
+from repro.chaos import (
+    ChaosEngine,
+    ControllerCompromise,
+    ControllerCrash,
+    FaultSchedule,
+    QuarantineController,
+)
 from repro.farm.spec import register_runner
+from repro.scenarios.ctrlplane import CtrlParams, build_ctrl_testbed
 from repro.scenarios.testbed import TestbedParams, build_testbed
 from repro.traffic.iperf import (
     DRAIN_TIME,
@@ -234,6 +242,165 @@ def chaos_run(
         "post_quarantine_gaps": post_quarantine_gaps,
         "alarms": alarm_counts,
         "compare": core.stats.as_dict(),
+    }
+
+
+#: the adversary axis of the ctrlbft sweep.  The fault always targets
+#: replica ``c1`` when it exists (c0 at ctrl_k=1, giving the
+#: *unprotected* baseline: a lone lying controller installs its lies).
+CTRL_ADVERSARIES = ("none", "crash", "lying")
+
+
+def _ctrl_adversary_schedule(adversary: str, ctrl_k: int) -> Optional[FaultSchedule]:
+    target = f"c{min(1, ctrl_k - 1)}"
+    if adversary == "none":
+        return None
+    if adversary == "crash":
+        return FaultSchedule(
+            [ControllerCrash(0.012, target, restart_at=0.030)],
+            name="ctrl_crash",
+        )
+    if adversary == "lying":
+        return FaultSchedule(
+            [ControllerCompromise(0.010, target, strategy="blackhole")],
+            name="ctrl_lying",
+        )
+    raise ValueError(
+        f"unknown control-plane adversary {adversary!r} "
+        f"(known: {list(CTRL_ADVERSARIES)})"
+    )
+
+
+@register_runner("ctrl.run")
+def ctrl_run(
+    seed: int,
+    variant: str = "central3",
+    ctrl_k: int = 3,
+    adversary: str = "none",
+    duration: float = 0.04,
+    rate_mbps: float = 10.0,
+    payload_size: int = 512,
+    vote_timeout: float = 2e-3,
+    miss_threshold: int = 4,
+    probation_clean_target: int = 6,
+    flow_hard_timeout: float = 5e-3,
+    params: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One UDP flow under a replicated control plane and one adversary.
+
+    Returns the BFT record: flow loss, a fingerprint of the exact
+    data-plane delivery (bit-identity across ctrl_k is the acceptance
+    check), vote/blocked counters, the quarantine timeline and the
+    detection latency from fault injection to quarantine.
+    """
+    ctrl = CtrlParams(
+        ctrl_k=ctrl_k,
+        vote_timeout=vote_timeout,
+        miss_threshold=miss_threshold,
+        probation_clean_target=probation_clean_target,
+        flow_hard_timeout=flow_hard_timeout,
+    )
+    tb = build_ctrl_testbed(variant, ctrl=ctrl, params=params_from_dict(params), seed=seed)
+    net = tb.network
+    base = tb.testbed.params
+
+    schedule = _ctrl_adversary_schedule(adversary, ctrl_k)
+    engine = None
+    if schedule is not None:
+        engine = ChaosEngine(
+            schedule,
+            net,
+            aliases=chaos_aliases(tb.testbed),
+            control_plane=tb.control_plane,
+        )
+        engine.arm()
+
+    # One reverse datagram teaches every replica h2's port before the
+    # forward flow starts, so forward decisions are FlowMod installs
+    # (votable, and worth lying about) instead of endless floods.
+    primer = UdpSender(
+        tb.h2,
+        dst_mac=tb.h1.mac,
+        dst_ip=tb.h1.ip,
+        dport=5002,
+        rate_bps=rate_mbps * 1e6,
+        payload_size=64,
+        send_cost=base.udp_send_cost,
+    )
+    primer.start(1e-6, delay=2e-4)
+
+    warmup = 1e-3
+    dport = 5001
+    receiver = UdpReceiver(tb.h2, dport)
+    sender = UdpSender(
+        tb.h1,
+        dst_mac=tb.h2.mac,
+        dst_ip=tb.h2.ip,
+        dport=dport,
+        rate_bps=rate_mbps * 1e6,
+        payload_size=payload_size,
+        send_cost=base.udp_send_cost,
+    )
+    sender.start(duration, delay=warmup)
+    net.run(until=warmup + duration + DRAIN_TIME)
+    flow = receiver.result(sender, duration)
+    sequences = sorted(receiver.received_sequences())
+    receiver.close()
+    if tb.quarantine is not None:
+        tb.quarantine.detach()
+    tb.control_plane.flush()
+
+    # The bit-identity artefact: a digest of exactly which datagrams the
+    # receiver saw.  Equal fingerprints == identical data-plane outcome.
+    fingerprint = hashlib.sha256(
+        ",".join(str(s) for s in sequences).encode("ascii")
+    ).hexdigest()[:16]
+
+    transitions = tb.quarantine.transitions if tb.quarantine is not None else []
+    quarantine_times = [t["time"] for t in transitions if t["event"] == "quarantine"]
+    injections = engine.injections if engine is not None else []
+    detection_latency = None
+    if quarantine_times and injections:
+        detection_latency = min(quarantine_times) - min(i["time"] for i in injections)
+
+    handles = tb.control_plane.replica_stats()
+    malicious_emitted = sum(h["malicious_emitted"] for h in handles)
+    if ctrl_k >= 2:
+        # The voter's accounting of lies that assembled a majority.
+        malicious_installed = tb.compare.stats.malicious_released
+    else:
+        # Pass-through: every lie the lone replica emitted was installed.
+        malicious_installed = malicious_emitted
+
+    alarm_counts: Dict[str, int] = {}
+    for alarm in tb.testbed.chain.alarms.alarms:
+        alarm_counts[alarm.kind] = alarm_counts.get(alarm.kind, 0) + 1
+
+    return {
+        "variant": variant,
+        "ctrl_k": ctrl_k,
+        "adversary": adversary,
+        "seed": seed,
+        "sent": flow.sent,
+        "received": flow.received_unique,
+        "duplicates": flow.duplicates,
+        "lost": flow.lost,
+        "loss_rate": flow.loss_rate,
+        "data_fingerprint": fingerprint,
+        "malicious_emitted": malicious_emitted,
+        "malicious_installed": malicious_installed,
+        "detection_latency": detection_latency,
+        "ctrl_quarantined": sorted(
+            {t["branch"] for t in transitions if t["event"] == "quarantine"}
+        ),
+        "ctrl_readmitted": sorted(
+            {t["branch"] for t in transitions if t["event"] == "readmit"}
+        ),
+        "transitions": transitions,
+        "injections": injections,
+        "alarms": alarm_counts,
+        "ctrl": tb.compare.stats.as_dict(),
+        "replicas": handles,
     }
 
 

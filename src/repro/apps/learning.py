@@ -28,10 +28,12 @@ class LearningSwitchApp(Controller):
         trace_bus=None,
         proc_time: float = 0.0,
         flow_idle_timeout: float = 0.0,
+        flow_hard_timeout: float = 0.0,
         flow_priority: int = 10,
     ) -> None:
         super().__init__(sim, name, trace_bus=trace_bus, proc_time=proc_time)
         self.flow_idle_timeout = flow_idle_timeout
+        self.flow_hard_timeout = flow_hard_timeout
         self.flow_priority = flow_priority
         # (datapath_id, mac) -> port
         self.tables: Dict[Tuple[int, MacAddress], int] = {}
@@ -60,6 +62,7 @@ class LearningSwitchApp(Controller):
                 actions=[Output(out_port)],
                 priority=self.flow_priority,
                 idle_timeout=self.flow_idle_timeout,
+                hard_timeout=self.flow_hard_timeout,
             ),
         )
         self.send_packet_out(

@@ -16,6 +16,10 @@ from repro.chaos.schedule import (
     BehaviorOff,
     BehaviorOn,
     ChaosEngine,
+    ControllerCompromise,
+    ControllerCrash,
+    ControllerRestart,
+    ControllerRestore,
     EVENT_KINDS,
     FaultEvent,
     FaultSchedule,
@@ -34,6 +38,10 @@ __all__ = [
     "BehaviorOff",
     "BehaviorOn",
     "ChaosEngine",
+    "ControllerCompromise",
+    "ControllerCrash",
+    "ControllerRestart",
+    "ControllerRestore",
     "EVENT_KINDS",
     "FaultEvent",
     "FaultSchedule",

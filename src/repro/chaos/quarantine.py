@@ -17,7 +17,7 @@ always precedes the quarantine record, the ordering the tests pin down.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.core.alarms import (
     ALARM_BRANCH_QUARANTINED,
@@ -32,11 +32,25 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class QuarantineController:
-    """Listens for availability alarms and quarantines the branch."""
+    """Listens for availability alarms and quarantines the branch.
 
-    def __init__(self, core: "CompareCore", trace_bus: TraceBus) -> None:
+    ``core`` is any quorum element with the membership API — the
+    data-plane :class:`~repro.core.compare.CompareCore` or the
+    control-plane :class:`~repro.ctrl.compare.ControlCompare`.
+    ``trigger_kinds`` selects which alarms provoke a quarantine; the
+    control plane adds ``ALARM_MINORITY_DIVERGENCE`` (a lying replica
+    diverges rather than going silent).
+    """
+
+    def __init__(
+        self,
+        core: "CompareCore",
+        trace_bus: TraceBus,
+        trigger_kinds: Sequence[str] = (ALARM_ROUTER_UNAVAILABLE,),
+    ) -> None:
         self.core = core
         self._bus = trace_bus
+        self._trigger_kinds = tuple(trigger_kinds)
         #: ordered transition log: dicts of time/event/branch
         self.transitions: List[dict] = []
         registry = active_registry()
@@ -60,12 +74,12 @@ class QuarantineController:
             return
         kind = record.data.get("kind")
         branch = record.data.get("branch")
-        if kind == ALARM_ROUTER_UNAVAILABLE:
+        if kind in self._trigger_kinds:
             if branch is None or self.core.is_quarantined(branch):
                 return
             # Re-entrant: quarantine_branch raises ALARM_BRANCH_QUARANTINED,
             # which lands back here (below) while this frame is live.
-            self.core.quarantine_branch(branch, reason="router_unavailable")
+            self.core.quarantine_branch(branch, reason=kind)
         elif kind == ALARM_BRANCH_QUARANTINED:
             self._log(record.time, "quarantine", branch)
         elif kind == ALARM_BRANCH_READMITTED:

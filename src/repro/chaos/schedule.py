@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, fields
-from typing import Callable, Dict, List, Optional, Sequence, Type
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Type
 
 from repro.adversary import (
     BenignBehavior,
@@ -37,10 +37,14 @@ from repro.adversary import (
     DropBehavior,
     PayloadCorruptionBehavior,
 )
+from repro.ctrl.replicated import CTRL_STRATEGIES
 from repro.net.link import Link
 from repro.net.topology import Network
 from repro.obs.metrics import active_registry
 from repro.openflow.switch import OpenFlowSwitch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ctrl.replicated import ReplicatedControlPlane
 
 
 # ----------------------------------------------------------------------
@@ -185,6 +189,68 @@ class BehaviorOff(FaultEvent):
     KIND = "behavior_off"
 
 
+@dataclass(frozen=True)
+class ControllerCrash(FaultEvent):
+    """Fail-stop one control-plane replica (target: ``c<i>`` or name).
+
+    ``restart_at`` schedules the matching :class:`ControllerRestart`; the
+    restarted replica's app state is stale, so the voter masks (and, if
+    persistent, quarantines) its post-restart divergence.
+    """
+
+    KIND = "controller_crash"
+
+    restart_at: Optional[float] = None
+
+    def validate(self) -> None:
+        super().validate()
+        if self.restart_at is not None and self.restart_at <= self.time:
+            raise ValueError(
+                f"{self.KIND}: restart_at {self.restart_at} <= time {self.time}"
+            )
+
+
+@dataclass(frozen=True)
+class ControllerRestart(FaultEvent):
+    """Bring a crashed control-plane replica back up."""
+
+    KIND = "controller_restart"
+
+
+@dataclass(frozen=True)
+class ControllerCompromise(FaultEvent):
+    """Turn one control-plane replica into a liar (modified flow-mods).
+
+    ``lie_every`` > 1 paces the lies (an adversary timing itself against
+    the probation window); ``until`` ends the campaign.
+    """
+
+    KIND = "controller_compromise"
+
+    strategy: str = "blackhole"
+    lie_every: int = 1
+    until: Optional[float] = None
+
+    def validate(self) -> None:
+        super().validate()
+        if self.strategy not in CTRL_STRATEGIES:
+            raise ValueError(
+                f"{self.KIND}: unknown strategy {self.strategy!r} "
+                f"(known: {sorted(CTRL_STRATEGIES)})"
+            )
+        if self.lie_every < 1:
+            raise ValueError(f"{self.KIND}: lie_every must be >= 1, got {self.lie_every}")
+        if self.until is not None and self.until <= self.time:
+            raise ValueError(f"{self.KIND}: until {self.until} <= time {self.time}")
+
+
+@dataclass(frozen=True)
+class ControllerRestore(FaultEvent):
+    """End a replica compromise (it tells the truth again)."""
+
+    KIND = "controller_restore"
+
+
 #: JSON ``kind`` string -> event class
 EVENT_KINDS: Dict[str, Type[FaultEvent]] = {
     cls.KIND: cls
@@ -197,6 +263,10 @@ EVENT_KINDS: Dict[str, Type[FaultEvent]] = {
         RouterRestart,
         BehaviorOn,
         BehaviorOff,
+        ControllerCrash,
+        ControllerRestart,
+        ControllerCompromise,
+        ControllerRestore,
     )
 }
 
@@ -341,10 +411,13 @@ class ChaosEngine:
         schedule: FaultSchedule,
         network: Network,
         aliases: Optional[Dict[str, str]] = None,
+        control_plane: Optional["ReplicatedControlPlane"] = None,
     ) -> None:
         self.schedule = schedule
         self.network = network
         self.aliases = dict(aliases or {})
+        #: target of controller_* events; None = such events are an error
+        self.control_plane = control_plane
         #: applied faults, in injection order: dicts of time/kind/target
         self.injections: List[dict] = []
         self._links_by_name = {link.name: link for link in network.links}
@@ -386,6 +459,15 @@ class ChaosEngine:
         if not isinstance(node, OpenFlowSwitch):
             raise ValueError(f"node {name!r} is not a switch")
         return node
+
+    def resolve_replica(self, target: str) -> int:
+        if self.control_plane is None:
+            raise ValueError(
+                f"controller fault targets {target!r} but no control plane "
+                "was handed to the chaos engine"
+            )
+        name = self.aliases.get(target, target)
+        return self.control_plane.replica_index(name)
 
     # -- compilation ----------------------------------------------------
     def arm(self) -> None:
@@ -464,6 +546,33 @@ class ChaosEngine:
         elif kind == "behavior_off":
             switch = self.resolve_switch(event.target)
             fn = lambda: self._restore_behavior(switch)  # noqa: E731
+        elif kind == "controller_crash":
+            replica = self.resolve_replica(event.target)
+            fn = lambda: self.control_plane.crash_replica(replica)  # noqa: E731
+            if event.restart_at is not None:
+                self.network.sim.schedule_at(
+                    event.restart_at,
+                    self._compile(ControllerRestart(event.restart_at, event.target)),
+                )
+        elif kind == "controller_restart":
+            replica = self.resolve_replica(event.target)
+            fn = lambda: self.control_plane.restart_replica(replica)  # noqa: E731
+        elif kind == "controller_compromise":
+            replica = self.resolve_replica(event.target)
+            fn = lambda: self.control_plane.compromise_replica(  # noqa: E731
+                replica,
+                strategy=event.strategy,
+                lie_every=event.lie_every,
+                until=event.until,
+            )
+            if event.until is not None:
+                self.network.sim.schedule_at(
+                    event.until,
+                    self._compile(ControllerRestore(event.until, event.target)),
+                )
+        elif kind == "controller_restore":
+            replica = self.resolve_replica(event.target)
+            fn = lambda: self.control_plane.restore_replica(replica)  # noqa: E731
         else:  # pragma: no cover - EVENT_KINDS and _compile kept in sync
             raise ValueError(f"unknown fault kind {kind!r}")
 

@@ -34,13 +34,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, List, Optional, Sequence
 
 from repro.core.alarms import (
-    ALARM_BRANCH_QUARANTINED,
-    ALARM_BRANCH_READMITTED,
     ALARM_DOS_SUSPECTED,
     ALARM_ROUTER_UNAVAILABLE,
     ALARM_SINGLE_SOURCE_PACKET,
     AlarmSink,
 )
+from repro.core.membership import QuorumMembershipMixin
 from repro.core.policy import BitExactPolicy, ComparePolicy
 from repro.core.votes import VoteBook, VoteEntry
 from repro.net.packet import Packet
@@ -163,8 +162,13 @@ class CompareContext:
         self.block_branch = block_branch
 
 
-class CompareCore:
-    """The compare logic plus its single-server processing model."""
+class CompareCore(QuorumMembershipMixin):
+    """The compare logic plus its single-server processing model.
+
+    The quarantine / probation / re-admission state machine lives in
+    :class:`~repro.core.membership.QuorumMembershipMixin`, shared with
+    the control-plane voter.
+    """
 
     def __init__(
         self,
@@ -198,10 +202,7 @@ class CompareCore:
         # entries older than this must not count as misses — they date
         # from before the branch recovered (stale-count guard).
         self._last_clean_vote: Dict[int, float] = {}
-        # self-healing bookkeeping: branch -> quarantined-at time, and the
-        # running count of consecutive clean probation copies
-        self._quarantined: Dict[int, float] = {}
-        self._probation_clean: Dict[int, int] = {}
+        self._init_membership()
         self._sweeper = PeriodicTask(sim, config.buffer_timeout, self._sweep)
         # Latency/quorum histograms bound from the registry active at
         # construction time; None when metrics are disabled so the
@@ -459,133 +460,8 @@ class CompareCore:
             )
 
     # ------------------------------------------------------------------
-    # self-healing: quarantine / probation / re-admission
-    # ------------------------------------------------------------------
-    def active_branches(self) -> List[int]:
-        """Branches currently counted toward the quorum."""
-        return [b for b in self.branch_ids if b not in self._quarantined]
-
-    def is_quarantined(self, branch: int) -> bool:
-        return branch in self._quarantined
-
-    def quarantined_branches(self) -> List[int]:
-        return sorted(self._quarantined)
-
-    def quarantine_branch(self, branch: int, reason: str = "operator") -> bool:
-        """Take ``branch`` out of the vote (Section V's "take the faulty
-        router out of service", automated).
-
-        Its copies stop counting toward the quorum and are tracked on
-        probation instead; the quorum is recomputed over the surviving
-        active branches, so a k=3 bundle degrades to a 2-of-2 vote —
-        forwarding continues but nothing is masked any more, which the
-        alarm records as ``masking_margin``.  After
-        ``probation_clean_target`` consecutive clean duplicates the
-        branch is re-admitted automatically.  Refused (returns False)
-        when it would leave fewer than ``min_active_branches`` active.
-        """
-        if branch not in self.branch_ids or branch in self._quarantined:
-            return False
-        if len(self.active_branches()) - 1 < self.config.min_active_branches:
-            self._trace(
-                "compare.quarantine_refused",
-                branch=branch,
-                active=len(self.active_branches()),
-            )
-            return False
-        now = self.sim.now
-        self._quarantined[branch] = now
-        self._probation_clean[branch] = 0
-        self.stats.quarantines += 1
-        self._apply_dynamic_quorum()
-        active = len(self.active_branches())
-        self.alarms.raise_alarm(
-            now,
-            ALARM_BRANCH_QUARANTINED,
-            self.name,
-            branch=branch,
-            reason=reason,
-            active_branches=active,
-            quorum=self.book.quorum,
-            masking_margin=active - self.book.quorum,
-        )
-        self._trace(
-            "compare.quarantine",
-            branch=branch,
-            reason=reason,
-            active=active,
-            quorum=self.book.quorum,
-        )
-        return True
-
-    def readmit_branch(self, branch: int, reason: str = "probation_complete") -> bool:
-        """Return a quarantined branch to the vote (probation served)."""
-        since = self._quarantined.pop(branch, None)
-        if since is None:
-            return False
-        clean = self._probation_clean.pop(branch, 0)
-        now = self.sim.now
-        self._miss_counts[branch] = 0
-        self._unavailable[branch] = False
-        self._last_clean_vote[branch] = now
-        self.stats.readmissions += 1
-        self._apply_dynamic_quorum()
-        self.alarms.raise_alarm(
-            now,
-            ALARM_BRANCH_READMITTED,
-            self.name,
-            branch=branch,
-            reason=reason,
-            clean_copies=clean,
-            quarantined_for=now - since,
-            active_branches=len(self.active_branches()),
-            quorum=self.book.quorum,
-        )
-        self._trace(
-            "compare.readmit", branch=branch, clean=clean, quorum=self.book.quorum
-        )
-        return True
-
-    def _apply_dynamic_quorum(self) -> None:
-        """Recompute the vote threshold over the active bundle.
-
-        The configured quorum applies to the full bundle; while branches
-        are quarantined it is capped at a strict majority of the active
-        set so forwarding survives the shrink.  A shrink can complete
-        votes that were already pending.
-        """
-        quorum = self.config.effective_quorum()
-        if self._quarantined:
-            quorum = min(quorum, len(self.active_branches()) // 2 + 1)
-        quorum = max(1, quorum)
-        if quorum == self.book.quorum:
-            return
-        shrank = quorum < self.book.quorum
-        self.book.quorum = quorum
-        if shrank:
-            now = self.sim.now
-            for entry in self.book.pending():
-                if entry.distinct_branches >= quorum:
-                    entry.released = True
-                    entry.released_at = now
-                    self._do_release(entry, now)
-
-    def _note_probation_clean(self, branch: int) -> None:
-        if branch not in self._quarantined:
-            return
-        count = self._probation_clean.get(branch, 0) + 1
-        self._probation_clean[branch] = count
-        if count >= self.config.probation_clean_target:
-            self.readmit_branch(branch)
-
-    def _reset_probation(self, branch: int) -> None:
-        if branch not in self._quarantined:
-            return
-        if self._probation_clean.get(branch):
-            self._probation_clean[branch] = 0
-            self.stats.probation_resets += 1
-            self._trace("compare.probation_reset", branch=branch)
-
+    # self-healing: quarantine / probation / re-admission — inherited
+    # from QuorumMembershipMixin (shared with ctrl.ControlCompare)
     # ------------------------------------------------------------------
     def flush(self) -> None:
         """Finalise everything still buffered (end-of-run accounting)."""

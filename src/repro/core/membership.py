@@ -1,0 +1,182 @@
+"""The quarantine / probation / re-admission state machine.
+
+Extracted from :class:`~repro.core.compare.CompareCore` so that the
+control-plane voter (:class:`~repro.ctrl.compare.ControlCompare`) runs
+the *same* self-healing code over its own :class:`~repro.core.votes.
+VoteBook` instead of a near-copy: one bundle-membership implementation,
+two trusted elements.
+
+A host class mixes this in and provides:
+
+* ``sim`` — the simulator (for ``sim.now``);
+* ``config`` — with ``effective_quorum()``, ``probation_clean_target``
+  and ``min_active_branches``;
+* ``book`` — the :class:`VoteBook` whose quorum the mixin retunes;
+* ``branch_ids`` — the full bundle membership (list of branch ints);
+* ``stats`` — with ``quarantines``, ``readmissions`` and
+  ``probation_resets`` counters;
+* ``alarms`` — an :class:`~repro.core.alarms.AlarmSink`;
+* ``name`` — the alarm source string;
+* ``_miss_counts`` / ``_unavailable`` / ``_last_clean_vote`` — the
+  liveness bookkeeping dicts the mixin heals on re-admission;
+* ``_do_release(entry, now)`` — forwards an entry's winning copy (a
+  quorum shrink can complete votes that were already pending);
+* ``_trace(topic, **data)`` — trace emission.
+
+``trace_prefix`` picks the trace-topic namespace (``compare.*`` for the
+data plane, ``ctrl.*`` for the control plane); alarm kinds are shared.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.alarms import (
+    ALARM_BRANCH_QUARANTINED,
+    ALARM_BRANCH_READMITTED,
+)
+
+__all__ = ["QuorumMembershipMixin"]
+
+
+class QuorumMembershipMixin:
+    """Branch quarantine, dynamic quorum and probation re-admission."""
+
+    #: trace-topic namespace for membership transitions
+    trace_prefix = "compare"
+
+    def _init_membership(self) -> None:
+        """Initialise the membership dicts (call from ``__init__``)."""
+        # branch -> quarantined-at time, and the running count of
+        # consecutive clean probation copies
+        self._quarantined: Dict[int, float] = {}
+        self._probation_clean: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def active_branches(self) -> List[int]:
+        """Branches currently counted toward the quorum."""
+        return [b for b in self.branch_ids if b not in self._quarantined]
+
+    def is_quarantined(self, branch: int) -> bool:
+        return branch in self._quarantined
+
+    def quarantined_branches(self) -> List[int]:
+        return sorted(self._quarantined)
+
+    def quarantine_branch(self, branch: int, reason: str = "operator") -> bool:
+        """Take ``branch`` out of the vote (Section V's "take the faulty
+        router out of service", automated).
+
+        Its copies stop counting toward the quorum and are tracked on
+        probation instead; the quorum is recomputed over the surviving
+        active branches, so a k=3 bundle degrades to a 2-of-2 vote —
+        forwarding continues but nothing is masked any more, which the
+        alarm records as ``masking_margin``.  After
+        ``probation_clean_target`` consecutive clean duplicates the
+        branch is re-admitted automatically.  Refused (returns False)
+        when it would leave fewer than ``min_active_branches`` active.
+        """
+        if branch not in self.branch_ids or branch in self._quarantined:
+            return False
+        if len(self.active_branches()) - 1 < self.config.min_active_branches:
+            self._trace(
+                f"{self.trace_prefix}.quarantine_refused",
+                branch=branch,
+                active=len(self.active_branches()),
+            )
+            return False
+        now = self.sim.now
+        self._quarantined[branch] = now
+        self._probation_clean[branch] = 0
+        self.stats.quarantines += 1
+        self._apply_dynamic_quorum()
+        active = len(self.active_branches())
+        self.alarms.raise_alarm(
+            now,
+            ALARM_BRANCH_QUARANTINED,
+            self.name,
+            branch=branch,
+            reason=reason,
+            active_branches=active,
+            quorum=self.book.quorum,
+            masking_margin=active - self.book.quorum,
+        )
+        self._trace(
+            f"{self.trace_prefix}.quarantine",
+            branch=branch,
+            reason=reason,
+            active=active,
+            quorum=self.book.quorum,
+        )
+        return True
+
+    def readmit_branch(self, branch: int, reason: str = "probation_complete") -> bool:
+        """Return a quarantined branch to the vote (probation served)."""
+        since = self._quarantined.pop(branch, None)
+        if since is None:
+            return False
+        clean = self._probation_clean.pop(branch, 0)
+        now = self.sim.now
+        self._miss_counts[branch] = 0
+        self._unavailable[branch] = False
+        self._last_clean_vote[branch] = now
+        self.stats.readmissions += 1
+        self._apply_dynamic_quorum()
+        self.alarms.raise_alarm(
+            now,
+            ALARM_BRANCH_READMITTED,
+            self.name,
+            branch=branch,
+            reason=reason,
+            clean_copies=clean,
+            quarantined_for=now - since,
+            active_branches=len(self.active_branches()),
+            quorum=self.book.quorum,
+        )
+        self._trace(
+            f"{self.trace_prefix}.readmit",
+            branch=branch,
+            clean=clean,
+            quorum=self.book.quorum,
+        )
+        return True
+
+    def _apply_dynamic_quorum(self) -> None:
+        """Recompute the vote threshold over the active bundle.
+
+        The configured quorum applies to the full bundle; while branches
+        are quarantined it is capped at a strict majority of the active
+        set so forwarding survives the shrink.  A shrink can complete
+        votes that were already pending.
+        """
+        quorum = self.config.effective_quorum()
+        if self._quarantined:
+            quorum = min(quorum, len(self.active_branches()) // 2 + 1)
+        quorum = max(1, quorum)
+        if quorum == self.book.quorum:
+            return
+        shrank = quorum < self.book.quorum
+        self.book.quorum = quorum
+        if shrank:
+            now = self.sim.now
+            for entry in self.book.pending():
+                if entry.distinct_branches >= quorum:
+                    entry.released = True
+                    entry.released_at = now
+                    self._do_release(entry, now)
+
+    def _note_probation_clean(self, branch: int) -> None:
+        if branch not in self._quarantined:
+            return
+        count = self._probation_clean.get(branch, 0) + 1
+        self._probation_clean[branch] = count
+        if count >= self.config.probation_clean_target:
+            self.readmit_branch(branch)
+
+    def _reset_probation(self, branch: int) -> None:
+        if branch not in self._quarantined:
+            return
+        if self._probation_clean.get(branch):
+            self._probation_clean[branch] = 0
+            self.stats.probation_resets += 1
+            self._trace(f"{self.trace_prefix}.probation_reset", branch=branch)

@@ -1,0 +1,390 @@
+"""The trusted control-plane voter (P4BFT-style quorum over flow-mods).
+
+:class:`ControlCompare` is to the control plane what
+:class:`~repro.core.compare.CompareCore` is to the data plane: a trusted
+element that receives every replica's outbound control message, votes on
+the canonical byte encoding (:mod:`repro.ctrl.digest`), and releases a
+message to the switch only once a strict majority of replicas produced a
+byte-identical copy.  It reuses the same machinery end to end:
+
+* :class:`~repro.core.votes.VoteBook` for quorum accounting — the vote
+  key is ``(datapath_id, digest(message))`` and the entry's payload slot
+  holds the message object itself;
+* :class:`~repro.core.membership.QuorumMembershipMixin` for quarantine,
+  dynamic quorum and probation re-admission — byte for byte the state
+  machine the data-plane compare runs;
+* the shared alarm kinds, so the existing
+  :class:`~repro.chaos.quarantine.QuarantineController` closes the loop
+  unchanged (pointed at this voter instead of a compare core).
+
+Two failure signatures are distinguished:
+
+* a replica that *stops emitting* (crash) goes missing from released
+  decisions; ``miss_threshold`` consecutive misses raise
+  ``ALARM_ROUTER_UNAVAILABLE`` — same rule, same alarm as a silent
+  router;
+* a replica that *lies* (compromise) emits bytes no majority ever
+  confirms; its entries expire unreleased, and after
+  ``divergence_threshold`` strikes the voter raises
+  ``ALARM_MINORITY_DIVERGENCE``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Set, Tuple
+
+from repro.core.alarms import (
+    ALARM_MINORITY_DIVERGENCE,
+    ALARM_ROUTER_UNAVAILABLE,
+    AlarmSink,
+)
+from repro.core.membership import QuorumMembershipMixin
+from repro.core.votes import VoteBook, VoteEntry
+from repro.ctrl.digest import digest
+from repro.obs.metrics import active_registry
+from repro.sim import PeriodicTask, Simulator, TraceBus
+
+__all__ = ["ControlCompareConfig", "CtrlStats", "ControlCompare"]
+
+
+@dataclass
+class ControlCompareConfig:
+    """Tunable parameters of the control-plane voter."""
+
+    k: int = 3
+    quorum: Optional[int] = None  # default: floor(k/2) + 1 (strict majority)
+    #: how long a decision waits for its majority before it is voided;
+    #: replicas answer the same fanned-out event synchronously (plus
+    #: their service time), so this can be much shorter than a data-plane
+    #: buffer timeout
+    vote_timeout: float = 2e-3
+    #: consecutive released decisions a replica may miss before the
+    #: unavailable alarm fires (the crash signature)
+    miss_threshold: int = 4
+    #: unconfirmed divergent decisions before the divergence alarm fires
+    #: (the lying signature); 1 = zero tolerance
+    divergence_threshold: int = 1
+    #: consecutive clean probation copies before re-admission
+    probation_clean_target: int = 6
+    #: the control plane may degrade all the way to one replica (an
+    #: unreplicated controller is today's baseline, not an outage)
+    min_active_branches: int = 1
+
+    def effective_quorum(self) -> int:
+        if self.quorum is not None:
+            return self.quorum
+        return self.k // 2 + 1
+
+    def validate(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        quorum = self.effective_quorum()
+        if not 1 <= quorum <= self.k:
+            raise ValueError(f"quorum {quorum} out of range for k={self.k}")
+        if self.vote_timeout <= 0:
+            raise ValueError("vote_timeout must be positive")
+        if self.miss_threshold < 1:
+            raise ValueError("miss_threshold must be >= 1")
+        if self.divergence_threshold < 1:
+            raise ValueError("divergence_threshold must be >= 1")
+        if self.probation_clean_target < 1:
+            raise ValueError("probation_clean_target must be >= 1")
+        if self.min_active_branches < 1:
+            raise ValueError("min_active_branches must be >= 1")
+
+
+@dataclass
+class CtrlStats:
+    """Counters exposed by a control-plane voter."""
+
+    submissions: int = 0
+    released: int = 0
+    late_copies: int = 0
+    branch_duplicates: int = 0
+    #: decisions voided: expired without a majority
+    blocked_no_quorum: int = 0
+    #: decisions voided that only ever had probation votes
+    blocked_quarantined: int = 0
+    expired_released: int = 0
+    quarantined_copies: int = 0
+    #: released decisions whose digest a compromised replica also emitted
+    #: — the acceptance metric; must stay 0 under a minority of liars
+    malicious_released: int = 0
+    quarantines: int = 0
+    readmissions: int = 0
+    probation_resets: int = 0
+
+    @property
+    def blocked(self) -> int:
+        return self.blocked_no_quorum + self.blocked_quarantined
+
+    def as_dict(self) -> dict:
+        data = dict(self.__dict__)
+        data["blocked"] = self.blocked
+        return data
+
+
+class ControlCompare(QuorumMembershipMixin):
+    """Majority vote over replica control messages, per switch."""
+
+    trace_prefix = "ctrl"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: ControlCompareConfig,
+        name: str = "ctrl_compare",
+        alarm_sink: Optional[AlarmSink] = None,
+        trace_bus: Optional[TraceBus] = None,
+        replica_ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        config.validate()
+        self.sim = sim
+        self.config = config
+        self.name = name
+        self.alarms = alarm_sink or AlarmSink(trace_bus)
+        self.trace_bus = trace_bus
+        self.branch_ids = (
+            list(replica_ids) if replica_ids is not None else list(range(config.k))
+        )
+        self.book = VoteBook(config.effective_quorum(), config.vote_timeout)
+        self.stats = CtrlStats()
+        #: datapath_id -> release callable (delivers one winning message)
+        self._releases: Dict[int, Callable[[object], None]] = {}
+        # liveness bookkeeping (same shape as CompareCore's)
+        self._miss_counts: Dict[int, int] = {b: 0 for b in self.branch_ids}
+        self._unavailable: Dict[int, bool] = {b: False for b in self.branch_ids}
+        self._last_clean_vote: Dict[int, float] = {}
+        # divergence bookkeeping: replica -> unconfirmed-divergent strikes
+        self._divergence_strikes: Dict[int, int] = {}
+        self._divergence_alarmed: Dict[int, bool] = {}
+        # vote keys a compromised replica emitted (simulation-side truth,
+        # used only to score the malicious_released acceptance metric)
+        self._tainted: Set[Tuple[int, bytes]] = set()
+        self._init_membership()
+        self._sweeper = PeriodicTask(sim, config.vote_timeout, self._sweep)
+        registry = active_registry()
+        if registry.enabled:
+            self._c_votes = registry.counter(
+                "ctrl_votes_total",
+                "control-message copies voted on by the control-plane voter",
+                labelnames=("compare",),
+            ).labels(name)
+            self._c_blocked = registry.counter(
+                "ctrl_flowmods_blocked_total",
+                "control messages voided without reaching a majority",
+                labelnames=("compare", "reason"),
+            )
+            self._h_vote_latency = registry.histogram(
+                "ctrl_vote_latency_seconds",
+                "time from a decision's first copy arriving to its release",
+                labelnames=("compare",),
+            ).labels(name)
+        else:
+            self._c_votes = None
+            self._c_blocked = None
+            self._h_vote_latency = None
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def register_switch(
+        self, datapath_id: int, release: Callable[[object], None]
+    ) -> None:
+        """Attach the release path for one switch's control channel."""
+        self._releases[datapath_id] = release
+
+    # ------------------------------------------------------------------
+    # submission path (replica -> voter)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        replica: int,
+        datapath_id: int,
+        message: object,
+        tainted: bool = False,
+    ) -> None:
+        """Accept one outbound control message from ``replica``.
+
+        ``tainted`` marks copies a compromise hook modified; it never
+        influences voting (the voter cannot know), only the
+        ``malicious_released`` accounting the acceptance tests read.
+        """
+        now = self.sim.now
+        self.stats.submissions += 1
+        if self._c_votes is not None:
+            self._c_votes.inc()
+        if not self._sweeper.running:
+            self._sweeper.start(self.config.vote_timeout)
+        key: Tuple[int, bytes] = (datapath_id, digest(message))
+        if tainted:
+            self._tainted.add(key)
+        quarantined = replica in self._quarantined
+        outcome = self.book.observe(
+            key, replica, now, message, countable=not quarantined
+        )
+        if outcome.evicted_stale is not None:
+            self._finalise(outcome.evicted_stale)
+        if outcome.is_branch_duplicate:
+            self.stats.branch_duplicates += 1
+        elif not quarantined:
+            # A clean counted vote heals the liveness bookkeeping
+            # immediately (same stale-count guard as the data plane).
+            self._last_clean_vote[replica] = now
+            if self._miss_counts.get(replica):
+                self._miss_counts[replica] = 0
+            if self._unavailable.get(replica):
+                self._unavailable[replica] = False
+        self._trace(
+            "ctrl.vote",
+            branch=replica,
+            dpid=datapath_id,
+            votes=outcome.entry.distinct_branches,
+            kind=type(message).__name__,
+            duplicate=outcome.is_branch_duplicate,
+            late=outcome.late_copy,
+            probation=quarantined,
+        )
+        if quarantined:
+            self.stats.quarantined_copies += 1
+            if outcome.entry.released and not outcome.is_branch_duplicate:
+                self._note_probation_clean(replica)
+            return
+        if outcome.late_copy:
+            self.stats.late_copies += 1
+            return
+        if outcome.newly_released:
+            self._do_release(outcome.entry, now)
+
+    def _do_release(self, entry: VoteEntry, now: float) -> None:
+        """Deliver an entry's winning message and settle probation."""
+        self.stats.released += 1
+        key = entry.key
+        if key in self._tainted:
+            # A majority confirmed bytes a compromised replica emitted:
+            # either the lie found co-conspirators or it equalled the
+            # honest output (not a lie at all); count it — the ctrlbft
+            # acceptance gate requires this to stay 0.
+            self.stats.malicious_released += 1
+            self._trace("ctrl.malicious_release", dpid=key[0])
+        if self._h_vote_latency is not None:
+            self._h_vote_latency.observe(now - entry.first_seen)
+        self._trace(
+            "ctrl.release",
+            dpid=key[0],
+            votes=entry.distinct_branches,
+            kind=type(entry.packet).__name__,
+            latency=now - entry.first_seen,
+        )
+        release = self._releases.get(key[0])
+        if release is not None:
+            release(entry.packet)
+        for waiting in list(entry.probation_counts):
+            self._note_probation_clean(waiting)
+
+    # ------------------------------------------------------------------
+    # expiry path
+    # ------------------------------------------------------------------
+    def _sweep(self) -> None:
+        for entry in self.book.pop_expired(self.sim.now):
+            self._finalise(entry)
+        if not len(self.book):
+            self._sweeper.stop()
+
+    def _finalise(self, entry: VoteEntry) -> None:
+        """Account for a decision leaving the book (expiry/eviction)."""
+        self._tainted.discard(entry.key)
+        if entry.released:
+            self.stats.expired_released += 1
+            for missing in entry.missing_branches(self.branch_ids):
+                if missing in self._quarantined or missing in entry.probation_counts:
+                    continue
+                self._note_missing(missing, entry.first_seen)
+            for present in entry.branches():
+                self._miss_counts[present] = 0
+                if self._unavailable.get(present):
+                    self._unavailable[present] = False
+            return
+        # Voided: nobody assembled a majority for these bytes.
+        if entry.branch_counts:
+            self.stats.blocked_no_quorum += 1
+            reason = "no_quorum"
+        else:
+            self.stats.blocked_quarantined += 1
+            reason = "quarantined"
+        if self._c_blocked is not None:
+            self._c_blocked.labels(self.name, reason).inc()
+        self._trace(
+            "ctrl.blocked",
+            dpid=entry.key[0],
+            reason=reason,
+            votes=entry.distinct_branches,
+            kind=type(entry.packet).__name__,
+        )
+        for waiting in list(entry.probation_counts):
+            # Probation bytes no active majority confirmed: start over.
+            self._reset_probation(waiting)
+        for voter in entry.branches():
+            self._note_divergence(voter)
+
+    # ------------------------------------------------------------------
+    # failure signatures
+    # ------------------------------------------------------------------
+    def _note_missing(self, replica: int, first_seen: float) -> None:
+        if first_seen < self._last_clean_vote.get(replica, -1.0):
+            return
+        count = self._miss_counts.get(replica, 0) + 1
+        self._miss_counts[replica] = count
+        if count >= self.config.miss_threshold and not self._unavailable.get(replica):
+            self._unavailable[replica] = True
+            self.alarms.raise_alarm(
+                self.sim.now,
+                ALARM_ROUTER_UNAVAILABLE,
+                self.name,
+                branch=replica,
+                consecutive_misses=count,
+            )
+
+    def _note_divergence(self, replica: int) -> None:
+        strikes = self._divergence_strikes.get(replica, 0) + 1
+        self._divergence_strikes[replica] = strikes
+        if (
+            strikes >= self.config.divergence_threshold
+            and not self._divergence_alarmed.get(replica)
+        ):
+            self._divergence_alarmed[replica] = True
+            self.alarms.raise_alarm(
+                self.sim.now,
+                ALARM_MINORITY_DIVERGENCE,
+                self.name,
+                branch=replica,
+                strikes=strikes,
+            )
+
+    def readmit_branch(self, branch: int, reason: str = "probation_complete") -> bool:
+        readmitted = super().readmit_branch(branch, reason)
+        if readmitted:
+            # A re-admitted replica earns a clean slate on both
+            # signatures; a relapse re-alarms from scratch.
+            self._divergence_strikes[branch] = 0
+            self._divergence_alarmed[branch] = False
+        return readmitted
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Finalise everything still buffered (end-of-run accounting)."""
+        for entry in self.book.entries():
+            self._finalise(entry)
+        self.book.clear()
+        self._sweeper.stop()
+
+    def _trace(self, topic: str, **data: object) -> None:
+        if self.trace_bus is not None:
+            self.trace_bus.emit(self.sim.now, topic, self.name, **data)
+
+    def __repr__(self) -> str:
+        return (
+            f"ControlCompare({self.name}, k={self.config.k}, "
+            f"quorum={self.config.effective_quorum()})"
+        )

@@ -1,0 +1,190 @@
+"""Canonical byte encodings for control-channel messages.
+
+The control-plane voter (:class:`~repro.ctrl.compare.ControlCompare`)
+needs the analogue of the data plane's bit-exact packet comparison: two
+replicas "agree" on a decision exactly when their outbound messages
+encode to the same bytes.  Python object identity or ``repr`` would not
+do — the encoding must be a pure function of the *protocol-visible*
+fields, stable across processes (farm workers vote-count records from
+different interpreters), and injective (any single-field mutation must
+change the bytes, or a lying replica could smuggle a divergent flow-mod
+under an honest digest).
+
+The encodings below are hand-rolled TLV-style byte strings rather than
+real OpenFlow 1.0 wire format: the simulator's messages carry fields
+(float timeouts, simulator packets) the wire format cannot, and the
+voter only needs canonical equality, not interoperability.
+
+``digest()`` returns the full canonical encoding (not a hash): vote keys
+live briefly in a :class:`~repro.core.votes.VoteBook` and exactness
+beats compactness — no collision argument needed.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.openflow.actions import (
+    Output,
+    SetDlDst,
+    SetDlSrc,
+    SetNwDst,
+    SetNwSrc,
+    SetTpDst,
+    SetTpSrc,
+    SetVlanVid,
+    StripVlan,
+)
+from repro.openflow.match import Match
+from repro.openflow.messages import FlowMod, PacketOut
+
+__all__ = [
+    "DigestError",
+    "encode_match",
+    "encode_action",
+    "encode_actions",
+    "encode_flow_mod",
+    "encode_packet_out",
+    "digest",
+]
+
+_F64 = struct.Struct("!d")
+_I64 = struct.Struct("!q")
+_U32 = struct.Struct("!I")
+_U16 = struct.Struct("!H")
+
+#: one tag byte per action type; unknown actions are a hard error — the
+#: trusted voter must never release bytes it cannot canonicalise.
+_ACTION_TAGS = {
+    Output: b"O",
+    SetDlSrc: b"s",
+    SetDlDst: b"d",
+    SetVlanVid: b"v",
+    StripVlan: b"V",
+    SetNwSrc: b"n",
+    SetNwDst: b"N",
+    SetTpSrc: b"t",
+    SetTpDst: b"T",
+}
+
+
+class DigestError(ValueError):
+    """A control message contains something we cannot canonicalise."""
+
+
+def _opt(value: bytes | None) -> bytes:
+    """Presence-prefixed optional field (None != any encoded value)."""
+    if value is None:
+        return b"\x00"
+    return b"\x01" + value
+
+
+def _opt_u16(value: int | None) -> bytes:
+    return _opt(None if value is None else _U16.pack(value & 0xFFFF))
+
+
+def _opt_u32(value: int | None) -> bytes:
+    return _opt(None if value is None else _U32.pack(value & 0xFFFFFFFF))
+
+
+def _opt_u8(value: int | None) -> bytes:
+    return _opt(None if value is None else bytes([value & 0xFF]))
+
+
+def encode_match(match: Match) -> bytes:
+    """The OF 1.0 12-tuple, fixed field order, wildcards marked."""
+    return b"".join(
+        (
+            b"M",
+            _opt_u32(match.in_port),
+            _opt(match.dl_src.to_bytes() if match.dl_src is not None else None),
+            _opt(match.dl_dst.to_bytes() if match.dl_dst is not None else None),
+            _opt_u16(match.dl_vlan),
+            _opt_u8(match.dl_vlan_pcp),
+            _opt_u16(match.dl_type),
+            _opt_u8(match.nw_tos),
+            _opt_u8(match.nw_proto),
+            _opt(match.nw_src.to_bytes() if match.nw_src is not None else None),
+            _opt(match.nw_dst.to_bytes() if match.nw_dst is not None else None),
+            _opt_u16(match.tp_src),
+            _opt_u16(match.tp_dst),
+        )
+    )
+
+
+def encode_action(action: object) -> bytes:
+    tag = _ACTION_TAGS.get(type(action))
+    if tag is None:
+        raise DigestError(
+            f"cannot canonicalise action {type(action).__name__}"
+        )
+    if isinstance(action, Output):
+        return tag + _U32.pack(action.port & 0xFFFFFFFF)
+    if isinstance(action, (SetDlSrc, SetDlDst)):
+        return tag + action.mac.to_bytes()
+    if isinstance(action, SetVlanVid):
+        return tag + _U16.pack(action.vid & 0xFFFF)
+    if isinstance(action, StripVlan):
+        return tag
+    if isinstance(action, (SetNwSrc, SetNwDst)):
+        return tag + action.ip.to_bytes()
+    # SetTpSrc / SetTpDst
+    return tag + _U16.pack(action.port & 0xFFFF)
+
+
+def encode_actions(actions) -> bytes:
+    encoded = [encode_action(a) for a in actions]
+    return _U16.pack(len(encoded)) + b"".join(encoded)
+
+
+def encode_flow_mod(mod: FlowMod) -> bytes:
+    command = mod.command.encode("utf-8")
+    return b"".join(
+        (
+            b"F",
+            bytes([len(command)]),
+            command,
+            encode_match(mod.match),
+            encode_actions(mod.actions),
+            _I64.pack(mod.priority),
+            _F64.pack(mod.idle_timeout),
+            _F64.pack(mod.hard_timeout),
+            _I64.pack(mod.cookie),
+        )
+    )
+
+
+def encode_packet_out(out: PacketOut) -> bytes:
+    if out.packet is None:
+        payload = _opt(None)
+    else:
+        wire = out.packet.to_bytes()
+        payload = _opt(_U32.pack(len(wire)) + wire)
+    return b"".join(
+        (
+            b"P",
+            payload,
+            _opt(
+                None
+                if out.buffer_id is None
+                else _I64.pack(out.buffer_id)
+            ),
+            _U32.pack(out.in_port & 0xFFFFFFFF),
+            encode_actions(out.actions),
+        )
+    )
+
+
+def digest(message: object) -> bytes:
+    """Canonical bytes of one controller->switch message.
+
+    Two messages have equal digests iff every protocol-visible field is
+    equal — the control-plane analogue of bit-exact packet comparison.
+    """
+    if isinstance(message, FlowMod):
+        return encode_flow_mod(message)
+    if isinstance(message, PacketOut):
+        return encode_packet_out(message)
+    raise DigestError(
+        f"cannot canonicalise control message {type(message).__name__}"
+    )

@@ -1,0 +1,350 @@
+"""k-replica control plane with quorum-voted output.
+
+:class:`ReplicatedControlPlane` applies NetCo's robust-combiner idea to
+the controller itself (ROADMAP item 5; P4BFT / Carbide in PAPERS.md are
+the reference designs).  It is itself a :class:`~repro.openflow.
+controller.Controller`, so switches attach to it exactly like to a plain
+controller, but internally it:
+
+* runs ``k`` independent replicas of the same application logic (built
+  by a caller-supplied factory, so each replica owns its state and can
+  own its rng stream);
+* fans every switch-to-controller message (PacketIn, FlowRemoved, stats
+  replies) to all live replicas — PacketIns carry a copy-on-write clone
+  of the packet so a misbehaving replica cannot corrupt its siblings'
+  input;
+* intercepts every replica's outbound FlowMod/PacketOut via the
+  :attr:`Controller.outbox` hook and submits it to a trusted
+  :class:`~repro.ctrl.compare.ControlCompare`, which releases a message
+  to the switch only once a strict majority produced a byte-identical
+  copy.
+
+With ``k=1`` the whole apparatus degrades to a pass-through: the single
+replica's output goes straight to the switch on the same schedule as an
+unreplicated controller, byte for byte.  (It must bypass the voter
+entirely — a quorum-of-1 VoteBook would still tombstone-deduplicate
+identical messages within the vote timeout, which a real controller
+does not.)
+
+The compromise hooks (:data:`CTRL_STRATEGIES`) model a *lying* replica:
+its flow-mods are mutated before submission, so it keeps voting — and
+keeps failing to assemble a majority — which is the divergence signature
+the voter alarms on.  Strategies mutate FlowMods only; PacketOuts pass
+clean so the honest majority's data-plane schedule is unaffected.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.core.alarms import AlarmSink
+from repro.ctrl.compare import ControlCompare, ControlCompareConfig
+from repro.openflow.actions import Output
+from repro.openflow.controller import Controller
+from repro.openflow.messages import (
+    FlowMod,
+    FlowRemoved,
+    FlowStatsReply,
+    PacketIn,
+    PortStatsReply,
+)
+from repro.sim import Simulator, TraceBus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.openflow.switch import OpenFlowSwitch
+
+__all__ = [
+    "CTRL_STRATEGIES",
+    "BOGUS_PORT",
+    "CompromisePlan",
+    "ReplicaHandle",
+    "ReplicatedControlPlane",
+]
+
+#: nonexistent switch port a blackholing liar rewrites outputs to; the
+#: switch drops such packets with a ``switch.drop reason=bad_port`` trace
+BOGUS_PORT = 9999
+
+
+def _lie_blackhole(mod: FlowMod) -> Optional[FlowMod]:
+    """Rewrite every output to a nonexistent port (traffic blackhole)."""
+    actions = tuple(
+        Output(BOGUS_PORT) if isinstance(a, Output) else a for a in mod.actions
+    )
+    return dataclasses.replace(mod, actions=actions)
+
+
+def _lie_suppress(mod: FlowMod) -> Optional[FlowMod]:
+    """Withhold the flow-mod entirely (silent sabotage)."""
+    return None
+
+
+def _lie_priority(mod: FlowMod) -> Optional[FlowMod]:
+    """A subtle lie: same route, different priority (shadow rules)."""
+    return dataclasses.replace(mod, priority=mod.priority + 1)
+
+
+#: compromise strategy name -> FlowMod mutator (None return = withhold)
+CTRL_STRATEGIES: Dict[str, Callable[[FlowMod], Optional[FlowMod]]] = {
+    "blackhole": _lie_blackhole,
+    "suppress": _lie_suppress,
+    "priority": _lie_priority,
+}
+
+
+@dataclass
+class CompromisePlan:
+    """An active lie campaign against one replica.
+
+    ``lie_every`` > 1 models an adversary pacing its lies to stretch out
+    detection (and, against a probation window, to evade re-admission
+    resets); ``until`` bounds the campaign in simulated time.
+    """
+
+    strategy: str
+    lie_every: int = 1
+    until: Optional[float] = None
+    flow_mods_seen: int = 0
+    lies_told: int = 0
+
+    def apply(self, message: object, now: float) -> "tuple[object | None, bool]":
+        """Return (possibly mutated message, tainted?)."""
+        if self.until is not None and now >= self.until:
+            return message, False
+        if not isinstance(message, FlowMod):
+            return message, False
+        self.flow_mods_seen += 1
+        if self.flow_mods_seen % self.lie_every != 0:
+            return message, False
+        mutated = CTRL_STRATEGIES[self.strategy](message)
+        self.lies_told += 1
+        if mutated is message:
+            return message, False
+        return mutated, True
+
+
+@dataclass
+class ReplicaHandle:
+    """Bookkeeping for one controller replica."""
+
+    index: int
+    name: str
+    controller: Controller
+    crashed: bool = False
+    compromise: Optional[CompromisePlan] = None
+    messages_emitted: int = 0
+    malicious_emitted: int = 0
+    first_tainted_at: Optional[float] = None
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "name": self.name,
+            "crashed": self.crashed,
+            "compromised": self.compromise is not None,
+            "messages_emitted": self.messages_emitted,
+            "malicious_emitted": self.malicious_emitted,
+            "first_tainted_at": self.first_tainted_at,
+        }
+
+
+class ReplicatedControlPlane(Controller):
+    """Fan in, replicate, vote, fan out."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        replica_factory: Callable[[int, str], Controller],
+        k: int = 3,
+        name: str = "ctrl",
+        trace_bus: Optional[TraceBus] = None,
+        compare_config: Optional[ControlCompareConfig] = None,
+        alarm_sink: Optional[AlarmSink] = None,
+        proc_time: float = 0.0,
+        queue_capacity: int = 100_000,
+    ) -> None:
+        super().__init__(
+            sim,
+            name=name,
+            trace_bus=trace_bus,
+            proc_time=proc_time,
+            queue_capacity=queue_capacity,
+        )
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        config = compare_config or ControlCompareConfig()
+        config = dataclasses.replace(config, k=k)
+        self.k = k
+        self.replicas: List[ReplicaHandle] = []
+        for index in range(k):
+            replica_name = f"{name}_c{index}"
+            controller = replica_factory(index, replica_name)
+            handle = ReplicaHandle(index=index, name=replica_name, controller=controller)
+            controller.outbox = (
+                lambda _ctrl, switch, message, handle=handle: self._replica_emit(
+                    handle, switch, message
+                )
+            )
+            self.replicas.append(handle)
+        self.compare = ControlCompare(
+            sim,
+            config,
+            name=f"{name}_compare",
+            alarm_sink=alarm_sink,
+            trace_bus=trace_bus,
+        )
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def register_switch(self, switch: "OpenFlowSwitch") -> None:
+        self.switches[switch.datapath_id] = switch
+        self.compare.register_switch(
+            switch.datapath_id,
+            lambda message, switch=switch: self._deliver(switch, message),
+        )
+        for handle in self.replicas:
+            # Replicas know the switch (tables, datapath ids) but their
+            # output is rerouted through the voter by the outbox hook.
+            handle.controller.register_switch(switch)
+        self.on_switch_connected(switch)
+
+    def _deliver(self, switch: "OpenFlowSwitch", message: object) -> None:
+        """Ship a voted (or pass-through) message over the channel."""
+        latency = switch.controller_latency()
+        self.sim.schedule(latency, lambda: switch.handle_controller_message(message))
+
+    # ------------------------------------------------------------------
+    # fan-in (switch -> replicas)
+    # ------------------------------------------------------------------
+    def _dispatch(self, switch: "OpenFlowSwitch", message: object) -> None:
+        if isinstance(
+            message, (PacketIn, FlowRemoved, PortStatsReply, FlowStatsReply)
+        ):
+            for handle in self.replicas:
+                if handle.crashed:
+                    continue
+                if isinstance(message, PacketIn):
+                    # Each replica gets its own packet clone: a replica
+                    # that scribbles on headers must not poison the
+                    # others' view of the event.
+                    fanned: object = dataclasses.replace(
+                        message, packet=message.packet.copy()
+                    )
+                else:
+                    fanned = message
+                handle.controller._dispatch(switch, fanned)
+            return
+        super()._dispatch(switch, message)
+
+    # ------------------------------------------------------------------
+    # fan-out (replicas -> voter -> switch)
+    # ------------------------------------------------------------------
+    def _replica_emit(
+        self, handle: ReplicaHandle, switch: "OpenFlowSwitch", message: object
+    ) -> None:
+        handle.messages_emitted += 1
+        tainted = False
+        if handle.compromise is not None:
+            message, tainted = handle.compromise.apply(message, self.sim.now)
+            if tainted:
+                handle.malicious_emitted += 1
+                if handle.first_tainted_at is None:
+                    handle.first_tainted_at = self.sim.now
+                self.trace(
+                    "ctrl.replica_lie",
+                    replica=handle.index,
+                    strategy=handle.compromise.strategy,
+                    dpid=switch.datapath_id,
+                )
+            if message is None:
+                return
+        if self.k == 1:
+            # Unreplicated: straight pass-through, identical timing and
+            # bytes to a plain Controller.send().
+            self._deliver(switch, message)
+            return
+        self.compare.submit(
+            handle.index, switch.datapath_id, message, tainted=tainted
+        )
+
+    # ------------------------------------------------------------------
+    # replica fault/compromise API (driven by the chaos engine)
+    # ------------------------------------------------------------------
+    def replica_index(self, target: "int | str") -> int:
+        """Resolve a replica by index, short ("c1") or full name."""
+        if isinstance(target, int):
+            if not 0 <= target < self.k:
+                raise KeyError(f"no replica {target} (k={self.k})")
+            return target
+        for handle in self.replicas:
+            if target == handle.name or target == f"c{handle.index}":
+                return handle.index
+        known = ", ".join(h.name for h in self.replicas)
+        raise KeyError(f"unknown replica {target!r} (known: {known})")
+
+    def crash_replica(self, target: "int | str") -> None:
+        """Fail-stop one replica: it stops receiving and emitting."""
+        handle = self.replicas[self.replica_index(target)]
+        if handle.crashed:
+            return
+        handle.crashed = True
+        self.trace("ctrl.replica_crash", replica=handle.index)
+
+    def restart_replica(self, target: "int | str") -> None:
+        """Bring a crashed replica back (with whatever state it kept).
+
+        Its app state is stale relative to its siblings, so its first
+        decisions may diverge until it re-learns — the voter masks that
+        and, if persistent, quarantines it into probation.
+        """
+        handle = self.replicas[self.replica_index(target)]
+        if not handle.crashed:
+            return
+        handle.crashed = False
+        self.trace("ctrl.replica_restart", replica=handle.index)
+
+    def compromise_replica(
+        self,
+        target: "int | str",
+        strategy: str = "blackhole",
+        lie_every: int = 1,
+        until: Optional[float] = None,
+    ) -> None:
+        """Turn one replica into a liar (its output is mutated)."""
+        if strategy not in CTRL_STRATEGIES:
+            known = ", ".join(sorted(CTRL_STRATEGIES))
+            raise ValueError(f"unknown compromise strategy {strategy!r} (known: {known})")
+        if lie_every < 1:
+            raise ValueError(f"lie_every must be >= 1, got {lie_every}")
+        handle = self.replicas[self.replica_index(target)]
+        handle.compromise = CompromisePlan(
+            strategy=strategy, lie_every=lie_every, until=until
+        )
+        self.trace(
+            "ctrl.replica_compromise",
+            replica=handle.index,
+            strategy=strategy,
+            lie_every=lie_every,
+        )
+
+    def restore_replica(self, target: "int | str") -> None:
+        """End a compromise campaign (the replica tells the truth again)."""
+        handle = self.replicas[self.replica_index(target)]
+        if handle.compromise is None:
+            return
+        handle.compromise = None
+        self.trace("ctrl.replica_restore", replica=handle.index)
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Finalise pending votes (end-of-run accounting)."""
+        self.compare.flush()
+
+    def replica_stats(self) -> List[dict]:
+        return [handle.as_dict() for handle in self.replicas]
+
+    def __repr__(self) -> str:
+        return f"ReplicatedControlPlane({self.name}, k={self.k})"

@@ -32,6 +32,7 @@ __all__ = [
     "fig7_plan",
     "fig8_plan",
     "chaos_plan",
+    "ctrlbft_plan",
     "table1_plan",
     "smoke_plan",
     "builtin_plan",
@@ -291,6 +292,43 @@ def chaos_plan(
     )
 
 
+def ctrlbft_plan(
+    variants: Sequence[str] = ("linespeed", "central3"),
+    ctrl_ks: Sequence[int] = (1, 3),
+    adversaries: Sequence[str] = ("none", "crash", "lying"),
+    duration: float = 0.06,
+    rate_mbps: float = 10.0,
+    seeds: Sequence[int] = (1,),
+    params: Optional[Dict[str, Any]] = None,
+) -> ExperimentPlan:
+    """Control-plane BFT sweep: data-plane k (via the variant) ×
+    control-plane k × adversary.
+
+    Each grid point is one ``ctrl.run``: a UDP flow under a replicated
+    reactive control plane with an optional replica crash or lying
+    compromise, recording blocked flow-mods, detection latency, the
+    quarantine timeline and a data-plane delivery fingerprint (the
+    bit-identity artefact: ``ctrl_k`` must not change it)."""
+    return ExperimentPlan(
+        name="ctrlbft",
+        description="Replicated control plane: data-plane k x control-"
+                    "plane k x adversary grid, quorum-voted flow-mods.",
+        stages=[PlanStage(
+            name="grid",
+            task="ctrl.run",
+            scenarios=list(variants),
+            sweep={
+                "adversary": list(adversaries),
+                "ctrl_k": list(ctrl_ks),
+            },
+            args={"duration": duration, "rate_mbps": rate_mbps},
+            seeds=list(seeds),
+            params=params,
+            merge={"kind": "records_list"},
+        )],
+    )
+
+
 def table1_plan(
     duration_tcp: float = 0.15,
     duration_udp: float = 0.08,
@@ -342,6 +380,7 @@ _BUILDERS = {
     "fig7": fig7_plan,
     "fig8": fig8_plan,
     "chaos": chaos_plan,
+    "ctrlbft": ctrlbft_plan,
     "table1": table1_plan,
     "smoke": smoke_plan,
 }
@@ -355,6 +394,7 @@ QUICK_SETTINGS: Dict[str, Dict[str, Any]] = {
     "fig7": {"count": 20, "sequences": 1},
     "fig8": {"payload_sizes": (128, 512, 1470), "repetitions": 1},
     "chaos": {"duration": 0.04, "seeds": (1,)},
+    "ctrlbft": {"variants": ("central3",), "duration": 0.04},
     "table1": {
         "duration_tcp": 0.06, "duration_udp": 0.04,
         "ping_count": 20, "repetitions": 1,

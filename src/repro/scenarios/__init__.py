@@ -6,6 +6,11 @@ from repro.scenarios.datacenter import (
     DatacenterCaseStudy,
     ScreeningReport,
 )
+from repro.scenarios.ctrlplane import (
+    CtrlParams,
+    CtrlTestbed,
+    build_ctrl_testbed,
+)
 from repro.scenarios.registry import (
     ScenarioSpec,
     figure_scenarios,
@@ -33,6 +38,8 @@ from repro.scenarios.virtualized import (
 __all__ = [
     "BENIGN_PATH",
     "CaseStudyResult",
+    "CtrlParams",
+    "CtrlTestbed",
     "DatacenterCaseStudy",
     "ScreeningReport",
     "ScenarioSpec",
@@ -44,6 +51,7 @@ __all__ = [
     "Testbed",
     "TestbedParams",
     "VARIANTS",
+    "build_ctrl_testbed",
     "build_testbed",
     "TransportCombiner",
     "build_transport_combiner",

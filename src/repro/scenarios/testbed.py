@@ -129,8 +129,15 @@ def build_testbed(
     variant: str,
     params: Optional[TestbedParams] = None,
     seed: Optional[int] = None,
+    install_routes: bool = True,
 ) -> Testbed:
-    """Build one Section V scenario from scratch."""
+    """Build one Section V scenario from scratch.
+
+    ``install_routes=False`` leaves the untrusted routers' flow tables
+    empty — for scenarios where a control plane installs routes
+    reactively (:mod:`repro.scenarios.ctrlplane`) instead of the static
+    provisioning below.
+    """
     spec: ScenarioSpec = get_scenario(variant)
     params = params or TestbedParams()
     if seed is not None:
@@ -187,8 +194,9 @@ def build_testbed(
         delay=params.link_delay,
         queue_capacity=params.queue_capacity,
     )
-    # MAC-destination routing on the untrusted routers (the paper's only
-    # matched header field).
-    chain.install_mac_route(h2.mac, toward="b")
-    chain.install_mac_route(h1.mac, toward="a")
+    if install_routes:
+        # MAC-destination routing on the untrusted routers (the paper's
+        # only matched header field).
+        chain.install_mac_route(h2.mac, toward="b")
+        chain.install_mac_route(h1.mac, toward="a")
     return Testbed(variant, net, h1, h2, chain, params)

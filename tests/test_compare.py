@@ -307,3 +307,65 @@ class TestProcessingModel:
         h.submit(pkt(), 0)
         h.sim.run()  # runs to completion only if the sweeper stops itself
         assert h.core.stats.expired_unreleased == 1
+
+
+class TestEvictionWithQuarantine:
+    """Entries leaving the cache via expiry or eviction must not count a
+    quarantined branch as missing: its absence from the quorum is the
+    *expected* consequence of quarantine, not a fresh outage."""
+
+    def test_expired_entries_do_not_alarm_quarantined_branch(self):
+        h = Harness(miss_threshold=1)
+        assert h.core.quarantine_branch(2, reason="divergence")
+        for i in range(4):
+            h.submit(pkt(ident=i), 0)
+            h.submit(pkt(ident=i), 1)  # released without branch 2
+        h.sim.run(until=0.05)  # sweeper expires every tombstone
+        assert len(h.core.book) == 0
+        kinds = [a.kind for a in h.core.alarms.alarms]
+        assert ALARM_ROUTER_UNAVAILABLE not in kinds
+
+    def test_evicted_entries_do_not_alarm_quarantined_branch(self):
+        # Cache pressure forces evict_oldest long before the deadline;
+        # the finalise pass must apply the same quarantine exemption.
+        h = Harness(miss_threshold=1, cache_capacity=2, buffer_timeout=100.0)
+        assert h.core.quarantine_branch(2, reason="divergence")
+        for i in range(6):
+            h.submit(pkt(ident=i), 0)
+            h.submit(pkt(ident=i), 1)
+        h.sim.run(until=0.01)
+        assert h.core.stats.evicted > 0
+        kinds = [a.kind for a in h.core.alarms.alarms]
+        assert ALARM_ROUTER_UNAVAILABLE not in kinds
+
+    def test_evicted_entries_still_alarm_honest_absentee(self):
+        # Same cache pressure, no quarantine: the absence is a real
+        # outage signal and the eviction path must still count it.
+        h = Harness(miss_threshold=1, cache_capacity=2, buffer_timeout=100.0)
+        for i in range(6):
+            h.submit(pkt(ident=i), 0)
+            h.submit(pkt(ident=i), 1)
+        h.sim.run(until=0.01)
+        assert h.core.stats.evicted > 0
+        unavailable = [
+            a for a in h.core.alarms.alarms if a.kind == ALARM_ROUTER_UNAVAILABLE
+        ]
+        assert [a.branch for a in unavailable] == [2]
+
+    def test_evicted_probation_copies_keep_their_credit(self):
+        # A clean probation copy confirmed by a released majority counts
+        # toward re-admission even when the entry leaves by eviction.
+        h = Harness(
+            miss_threshold=1,
+            cache_capacity=2,
+            buffer_timeout=100.0,
+            probation_clean_target=4,
+        )
+        assert h.core.quarantine_branch(2, reason="divergence")
+        for i in range(6):
+            h.submit(pkt(ident=i), 0)
+            h.submit(pkt(ident=i), 1)
+            h.submit(pkt(ident=i), 2)  # clean probation copies
+        h.sim.run(until=0.01)
+        assert h.core.stats.readmissions == 1
+        assert not h.core.is_quarantined(2)

@@ -145,3 +145,60 @@ class TestIntrospection:
         book.observe("k", 0, 0.0, pkt())
         book.clear()
         assert len(book) == 0
+
+
+class TestProbationCopies:
+    """Copies observed with ``countable=False`` (quarantined branches)."""
+
+    def test_probation_copy_never_advances_quorum(self):
+        book = VoteBook(quorum=2, timeout=1.0)
+        book.observe("k", 0, 0.0, pkt(), countable=False)
+        outcome = book.observe("k", 1, 0.0, pkt(), countable=False)
+        assert not outcome.newly_released
+        assert not outcome.countable
+        assert outcome.entry.distinct_branches == 0
+        assert outcome.entry.probation_counts == {0: 1, 1: 1}
+
+    def test_probation_copy_counts_in_totals_not_branches(self):
+        book = VoteBook(quorum=2, timeout=1.0)
+        outcome = book.observe("k", 2, 0.0, pkt(), countable=False)
+        assert outcome.entry.total_copies() == 1
+        assert outcome.entry.branches() == []
+
+    def test_packet_not_adopted_from_probation_copy(self):
+        # The released bytes must come from a *counted* branch: a
+        # quarantined liar must not supply the canonical copy.
+        book = VoteBook(quorum=2, timeout=1.0)
+        suspect = pkt(1)
+        book.observe("k", 2, 0.0, suspect, countable=False)
+        honest = pkt(1)
+        book.observe("k", 0, 0.0, honest)
+        outcome = book.observe("k", 1, 0.0, pkt(1))
+        assert outcome.newly_released
+        assert outcome.entry.packet is honest
+
+    def test_missing_branches_ignores_probation_membership(self):
+        # The book reports a probation-only branch as "missing" from the
+        # counted vote; deciding that it must NOT be alarmed on is the
+        # compare layer's job (it skips quarantined/probation branches
+        # when an entry is finalised).  Pin the division of labour.
+        book = VoteBook(quorum=2, timeout=1.0)
+        outcome = book.observe("k", 0, 0.0, pkt())
+        book.observe("k", 1, 0.0, pkt())
+        book.observe("k", 2, 0.0, pkt(), countable=False)
+        assert outcome.entry.missing_branches([0, 1, 2]) == [2]
+        assert 2 in outcome.entry.probation_counts
+
+    def test_evicted_and_expired_entries_keep_probation_counts(self):
+        # Entries leave the book through pop_expired and evict_oldest;
+        # the finalise pass needs the probation bookkeeping intact to
+        # credit (or reset) the quarantined branch correctly.
+        book = VoteBook(quorum=2, timeout=1.0)
+        book.observe("a", 0, 0.0, pkt(0))
+        book.observe("a", 2, 0.0, pkt(0), countable=False)
+        book.observe("b", 0, 0.5, pkt(1))
+        book.observe("b", 2, 0.5, pkt(1), countable=False)
+        (expired,) = book.pop_expired(1.0)
+        assert expired.probation_counts == {2: 1}
+        (evicted,) = book.evict_oldest(1)
+        assert evicted.probation_counts == {2: 1}
