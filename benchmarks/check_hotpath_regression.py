@@ -37,6 +37,10 @@ def main(argv=None) -> int:
     parser.add_argument("--factor", type=float, default=2.0,
                         help="fail when normalised time exceeds baseline "
                              "by this factor (default 2.0)")
+    parser.add_argument("--min-train-speedup", type=float, default=1.2,
+                        help="fail when the train=32 fig5 macro is not at "
+                             "least this much faster than train=1 "
+                             "(default 1.2; CI batch-smoke gates harder)")
     args = parser.parse_args(argv)
 
     with open(args.current, encoding="utf-8") as fh:
@@ -63,6 +67,21 @@ def main(argv=None) -> int:
     for name in sorted(current):
         if name not in baseline:
             print(f"[new ] {name}: no baseline yet")
+
+    # the one macro-derived number that IS gated: the batch tier must keep
+    # paying for itself on the fig5 quick sweep (paired same-process runs,
+    # so host speed cancels out)
+    train32 = current.get("macro_fig5_quick_train32", {})
+    speedup = train32.get("speedup_vs_train1")
+    if speedup is not None:
+        status = "FAIL" if speedup < args.min_train_speedup else "ok"
+        print(f"[{status}] macro_fig5_quick_train32: x{speedup:.2f} vs "
+              f"train=1 (floor x{args.min_train_speedup:.1f})")
+        if speedup < args.min_train_speedup:
+            failures.append(
+                f"macro_fig5_quick_train32: batch speedup x{speedup:.2f} "
+                f"below floor x{args.min_train_speedup:.1f}"
+            )
 
     if failures:
         print(f"\n{len(failures)} hot-path regression(s):", file=sys.stderr)

@@ -105,7 +105,6 @@ def _record(name: str, us: float) -> float:
 @pytest.fixture(scope="module", autouse=True)
 def _dump_results():
     yield
-    out = os.environ.get("BENCH_HOTPATH_OUT", "BENCH_hotpath.json")
     payload = {
         "schema": "hotpath-bench-v1",
         "python": platform.python_version(),
@@ -113,9 +112,21 @@ def _dump_results():
         "calibration_us": round(_calibration_us(), 4),
         "results": RESULTS,
     }
-    with open(out, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    override = os.environ.get("BENCH_HOTPATH_OUT")
+    if override:
+        outputs = [override]
+    else:
+        # Write the snapshot both next to this file and at the repo root,
+        # so the perf trajectory is visible regardless of the pytest cwd.
+        here = os.path.dirname(os.path.abspath(__file__))
+        outputs = [
+            os.path.join(here, "BENCH_hotpath.json"),
+            os.path.join(os.path.dirname(here), "BENCH_hotpath.json"),
+        ]
+    for out in outputs:
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
 
 
 # ----------------------------------------------------------------------
@@ -206,6 +217,122 @@ def test_copy():
 
 
 # ----------------------------------------------------------------------
+# packet trains (batch tier)
+# ----------------------------------------------------------------------
+_TRAIN = 32
+
+
+def _batch(train: int = _TRAIN):
+    """A fig5-shaped train: 12-byte seq/ts heads like ``traffic/udp.py``."""
+    import struct
+
+    from repro.net.packet import PacketBatch
+
+    template = _packet()
+    heads = [struct.pack("!IQ", i, 1_000_000 + i) for i in range(train)]
+    idents = list(range(train))
+    return PacketBatch(template, heads, idents,
+                       seqs=list(range(train)),
+                       ts_ns=[1_000_000 + i for i in range(train)])
+
+
+def test_batch_serialise_vs_per_packet():
+    """Building one train's contiguous wire buffer vs 32 cold serialises."""
+    def per_packet():
+        for i in range(_TRAIN):
+            _packet(seq=i)._serialise()
+
+    cold = _record("serialise_train32_per_packet", _time_per_call(per_packet))
+
+    def batched():
+        batch = _batch()
+        batch.wire_buffer()
+
+    us = _record("serialise_train32_batched", _time_per_call(batched))
+    RESULTS["batch_serialise_speedup"] = {"us": 0.0, "normalised": 0.0,
+                                          "ratio": round(cold / us, 1)}
+    assert cold >= 2.0 * us, (
+        f"batched train serialise not >=2x faster: "
+        f"per-packet={cold:.1f}us batched={us:.1f}us"
+    )
+
+
+def test_batch_ttl_sweep_vs_per_packet():
+    """One batch TTL sweep vs decrementing 32 materialised packets."""
+    packets = [_packet(seq=i) for i in range(_TRAIN)]
+    for pkt in packets:
+        pkt.to_bytes()
+
+    # each timed call decrements then restores, so repeated timing loops
+    # never drive the TTL out of range
+    def per_packet():
+        for pkt in packets:
+            pkt.decrement_ttl()
+        for pkt in packets:
+            pkt.decrement_ttl(-1)
+
+    cold = _record("ttl_train32_per_packet", _time_per_call(per_packet))
+
+    batch = _batch()
+    batch.wire_buffer()
+
+    def batched():
+        batch.decrement_ttl()
+        batch.decrement_ttl(-1)
+
+    us = _record("ttl_train32_batched", _time_per_call(batched))
+    RESULTS["batch_ttl_speedup"] = {"us": 0.0, "normalised": 0.0,
+                                    "ratio": round(cold / us, 1)}
+
+
+def test_hub_batch_fanout_vs_per_packet():
+    """A 5-branch hub fanning one train: shared batch vs per-packet copies."""
+    from repro.core.hub import Hub
+    from repro.net.topology import Network
+
+    def build(train):
+        net = Network(seed=1, batch_train=train)
+        hub = Hub(net.sim, "hub")
+        net.add_node(hub)
+        feeder = net.add_host("src")
+        for b in range(5):
+            sink = net.add_host(f"sink{b}", promiscuous=True)
+            net.connect(hub, sink, queue_capacity=10_000_000)
+        net.connect(feeder, hub, port_b=1, queue_capacity=10_000_000)
+        return net, hub
+
+    net1, hub1 = build(1)
+    packets = [_packet(seq=i) for i in range(_TRAIN)]
+    in_port = hub1.port(1)
+
+    def per_packet():
+        for pkt in packets:
+            hub1.receive(pkt, in_port)
+
+    cold = _record("hub_fanout_train32_per_packet", _time_per_call(per_packet))
+
+    net32, hub32 = build(32)
+    batch = _batch()
+    in_port32 = hub32.port(1)
+
+    def batched():
+        for i in range(_TRAIN):
+            hub32.receive_batch_packet(batch, i, in_port32)
+
+    us = _record("hub_fanout_train32_batched", _time_per_call(batched))
+    RESULTS["hub_fanout_speedup"] = {"us": 0.0, "normalised": 0.0,
+                                     "ratio": round(cold / us, 2)}
+    # Both paths are dominated by per-delivery link scheduling (which the
+    # shared-CPU ordering invariant keeps per-packet; see DESIGN.md), so
+    # the batch win here is only the avoided per-branch copies.  Gate
+    # against regression, not for a speedup.
+    assert us <= cold * 1.5, (
+        f"hub batch fan-out regressed vs per-packet: "
+        f"per-packet={cold:.1f}us batched={us:.1f}us"
+    )
+
+
+# ----------------------------------------------------------------------
 # flow-table lookup
 # ----------------------------------------------------------------------
 def _reference_scan(entries, packet, in_port, now):
@@ -278,15 +405,55 @@ def test_pending_events_o1():
 # ----------------------------------------------------------------------
 # macro: the fig5 UDP sweep (quick shape), wall-clock
 # ----------------------------------------------------------------------
+_FIG5_RECORD = None
+
+
 def test_macro_fig5_quick():
+    global _FIG5_RECORD
     from repro.analysis.runners import run_fig5_udp
 
     t0 = time.perf_counter()
     record = run_fig5_udp(duration=0.04, iterations=6, farm=None)
     elapsed = time.perf_counter() - t0
     assert record.rows, "fig5 produced no rows"
+    _FIG5_RECORD = record
     RESULTS["macro_fig5_quick"] = {
         "us": round(elapsed * 1e6, 1),
         "normalised": round(elapsed * 1e6 / _calibration_us(), 2),
         "seconds": round(elapsed, 2),
     }
+
+
+def test_macro_fig5_quick_train32():
+    """The same fig5 sweep through the batch tier: faster, bit-identical.
+
+    The speedup floor here is deliberately modest (the CI batch-smoke job
+    gates the real floor): the shared-CPU admission ordering documented in
+    DESIGN.md caps the batch tier near 2x on this macro, and benchmark
+    hosts are noisy.  Record identity, by contrast, is exact and gated
+    hard.
+    """
+    from repro.analysis.runners import run_fig5_udp
+    from repro.scenarios.testbed import TestbedParams
+
+    assert _FIG5_RECORD is not None, "train=1 macro must run first"
+    t0 = time.perf_counter()
+    record = run_fig5_udp(
+        duration=0.04, iterations=6, farm=None,
+        params=TestbedParams(batch_train=32),
+    )
+    elapsed = time.perf_counter() - t0
+    base = RESULTS["macro_fig5_quick"]["seconds"]
+    speedup = base / elapsed if elapsed > 0 else float("inf")
+    RESULTS["macro_fig5_quick_train32"] = {
+        "us": round(elapsed * 1e6, 1),
+        "normalised": round(elapsed * 1e6 / _calibration_us(), 2),
+        "seconds": round(elapsed, 2),
+        "speedup_vs_train1": round(speedup, 2),
+    }
+    assert record.rows == _FIG5_RECORD.rows, (
+        "train=32 fig5 records differ from train=1"
+    )
+    assert speedup >= 1.2, (
+        f"batch tier macro speedup collapsed: {speedup:.2f}x"
+    )

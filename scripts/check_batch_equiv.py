@@ -1,0 +1,81 @@
+"""Ad-hoc equivalence harness: train=1 vs train=N must be bit-identical.
+
+Compares the full UdpFlowResult plus every data-plane counter that feeds
+the figure records, across variants / seeds / rates.  Dev tool — the
+checked-in property tests (tests/test_batch_equivalence.py) cover the
+same ground with chaos schedules.
+"""
+import sys
+
+sys.path.insert(0, "src")
+
+from dataclasses import replace
+
+from repro.scenarios.testbed import TestbedParams, build_testbed
+from repro.traffic.iperf import run_udp_flow
+
+
+def run_once(variant, seed, rate, train, duration=0.04):
+    params = TestbedParams(batch_train=train, seed=seed)
+    tb = build_testbed(variant, params=params)
+    res = run_udp_flow(
+        tb.path(), rate_bps=rate, duration=duration,
+        send_cost=params.udp_send_cost,
+    )
+    sig = {
+        "flow": (res.sent, res.received_unique, res.duplicates, res.reordered,
+                 res.jitter_s),
+        "links": [],
+        "switches": {},
+    }
+    for link in tb.network.links:
+        for name, stats, depth in link.directions():
+            sig["links"].append((name, tuple(sorted(stats.as_dict().items())), depth))
+    for name, node in sorted(tb.network.nodes.items()):
+        if hasattr(node, "stats") and hasattr(node.stats, "as_dict"):
+            sig["switches"][name] = tuple(sorted(node.stats.as_dict().items()))
+        if hasattr(node, "estats"):
+            sig["switches"][name + ".e"] = tuple(sorted(node.estats.as_dict().items()))
+        if hasattr(node, "table"):
+            sig["switches"][name + ".t"] = tuple(sorted(node.table.lookup_stats().items()))
+    core = tb.chain.compare_core
+    if core is not None:
+        sig["compare"] = tuple(sorted(core.stats.as_dict().items()))
+    for h in (tb.h1, tb.h2):
+        sig["switches"][h.name + ".h"] = (h.rx_dropped, h.rx_foreign, h._recv_queued)
+    return sig
+
+
+def diff(a, b, prefix=""):
+    out = []
+    if isinstance(a, dict):
+        for k in sorted(set(a) | set(b)):
+            out += diff(a.get(k), b.get(k), f"{prefix}.{k}")
+    elif a != b:
+        out.append(f"{prefix}: {a!r} != {b!r}")
+    return out
+
+
+VARIANTS = ["linespeed", "central3", "central5", "pox3", "dup3", "dup5"]
+
+if __name__ == "__main__":
+    train = int(sys.argv[1]) if len(sys.argv) > 1 else 32
+    variants = sys.argv[2].split(",") if len(sys.argv) > 2 else VARIANTS
+    seeds = [int(s) for s in sys.argv[3].split(",")] if len(sys.argv) > 3 else [1, 2]
+    rates = [80e6, 300e6]
+    failures = 0
+    for variant in variants:
+        for seed in seeds:
+            for rate in rates:
+                a = run_once(variant, seed, rate, 1)
+                b = run_once(variant, seed, rate, train)
+                d = diff(a, b)
+                tag = f"{variant} seed={seed} rate={rate/1e6:.0f}M"
+                if d:
+                    failures += 1
+                    print(f"FAIL {tag}")
+                    for line in d[:12]:
+                        print("   ", line)
+                else:
+                    print(f"ok   {tag}  sent={a['flow'][0]} recv={a['flow'][1]}")
+    sys.exit(1 if failures else 0)

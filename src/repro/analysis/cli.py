@@ -46,29 +46,40 @@ _CHAOS_SPEC: Optional[str] = None
 #: scenario for the `chaos` experiment, set by main() before dispatch
 _CHAOS_VARIANT: str = "central3"
 
+#: packets per train for the batch tier (--train), set by main()
+_TRAIN: int = 1
+
+
+def _train_overrides() -> Dict[str, object]:
+    """Plan overrides carrying ``--train`` (empty at the default 1, so
+    presets keep their own ``params``)."""
+    if _TRAIN > 1:
+        return {"params": {"batch_train": _TRAIN}}
+    return {}
+
 
 def _cmd_table1(quick: bool, farm: Optional[FarmExecutor]) -> list:
     # one plan, one farm batch: the tcp/udp/rtt specs shard together
-    results = builtin_plan("table1", quick=quick).run(farm)
+    results = builtin_plan("table1", quick=quick, **_train_overrides()).run(farm)
     print(render_table1(results, paper=paper_table1_values()))
     return [{"scenario": scenario, **metrics}
             for scenario, metrics in results.items()]
 
 
 def _cmd_fig4(quick: bool, farm: Optional[FarmExecutor]) -> list:
-    record = builtin_plan("fig4", quick=quick).run(farm)
+    record = builtin_plan("fig4", quick=quick, **_train_overrides()).run(farm)
     print(render_record(record))
     return [record.to_dict()]
 
 
 def _cmd_fig5(quick: bool, farm: Optional[FarmExecutor]) -> list:
-    record = builtin_plan("fig5", quick=quick).run(farm)
+    record = builtin_plan("fig5", quick=quick, **_train_overrides()).run(farm)
     print(render_record(record))
     return [record.to_dict()]
 
 
 def _cmd_fig6(quick: bool, farm: Optional[FarmExecutor]) -> list:
-    points = builtin_plan("fig6", quick=quick).run(farm)
+    points = builtin_plan("fig6", quick=quick, **_train_overrides()).run(farm)
     print(render_series("Figure 6: Central3 goodput", "offered Mbit/s",
                         "goodput Mbit/s", [(o, round(g, 1)) for o, g, _ in points]))
     print(render_series("Figure 6: Central3 loss", "offered Mbit/s",
@@ -78,13 +89,13 @@ def _cmd_fig6(quick: bool, farm: Optional[FarmExecutor]) -> list:
 
 
 def _cmd_fig7(quick: bool, farm: Optional[FarmExecutor]) -> list:
-    record = builtin_plan("fig7", quick=quick).run(farm)
+    record = builtin_plan("fig7", quick=quick, **_train_overrides()).run(farm)
     print(render_record(record))
     return [record.to_dict()]
 
 
 def _cmd_fig8(quick: bool, farm: Optional[FarmExecutor]) -> list:
-    series = builtin_plan("fig8", quick=quick).run(farm)
+    series = builtin_plan("fig8", quick=quick, **_train_overrides()).run(farm)
     records = []
     for scenario, points in series.items():
         print(render_series(f"Figure 8 — {scenario}", "payload B",
@@ -102,6 +113,7 @@ def _cmd_chaos(quick: bool, farm: Optional[FarmExecutor]) -> list:
         schedules = [FaultSchedule.from_json_file(_CHAOS_SPEC).to_dict()]
     records = builtin_plan(
         "chaos", quick=quick, schedules=schedules, variant=_CHAOS_VARIANT,
+        **_train_overrides(),
     ).run(farm)
     for r in records:
         print(
@@ -115,7 +127,7 @@ def _cmd_chaos(quick: bool, farm: Optional[FarmExecutor]) -> list:
 
 
 def _cmd_ctrlbft(quick: bool, farm: Optional[FarmExecutor]) -> list:
-    records = builtin_plan("ctrlbft", quick=quick).run(farm)
+    records = builtin_plan("ctrlbft", quick=quick, **_train_overrides()).run(farm)
     for r in records:
         detect = (
             f"{r['detection_latency']:.4f}"
@@ -286,11 +298,19 @@ def main(argv=None) -> int:
         help="write a RunReport JSON (experiment records + farm progress) "
              "here after the run",
     )
+    parser.add_argument(
+        "--train", type=int, default=1, metavar="N",
+        help="packets per train for the data-plane batch tier (default 1: "
+             "per-packet events; results are bit-identical either way)",
+    )
     args = parser.parse_args(argv)
+    if args.train < 1:
+        parser.error(f"--train must be >= 1, got {args.train}")
 
-    global _CHAOS_SPEC, _CHAOS_VARIANT
+    global _CHAOS_SPEC, _CHAOS_VARIANT, _TRAIN
     _CHAOS_SPEC = args.chaos
     _CHAOS_VARIANT = args.variant
+    _TRAIN = args.train
 
     names = sorted(COMMANDS) if args.experiment == "all" else [args.experiment]
     all_records = []

@@ -258,7 +258,13 @@ class CompareCore(QuorumMembershipMixin):
             self._in_service -= 1
             self._serve(packet, branch, context, claim)
 
-        self.sim.schedule_at(finish, _serve_one)
+        realm = self.sim.realm
+        if realm is not None:
+            # Keep compare service completions on the micro heap so they
+            # interleave with in-flight train packets in global time order.
+            realm.post(finish, _serve_one, ())
+        else:
+            self.sim.schedule_at(finish, _serve_one)
 
     def _serve(
         self,

@@ -123,6 +123,15 @@ class CombinerEndpoint(OpenFlowSwitch):
         self._compare_port_no: Optional[int] = None
         self._compare_core: Optional[CompareCore] = None
         self._mac_table: Dict[MacAddress, int] = {}
+        # Train fast-path caches (wiring and role assignments are static
+        # once the testbed is built; invalidated on any change anyway).
+        self._fan_cache: Optional[List] = None
+        self._ext_cache: Optional[tuple] = None
+
+    def add_port(self, port_no: Optional[int] = None):
+        self._fan_cache = None
+        self._ext_cache = None
+        return super().add_port(port_no)
 
     # ------------------------------------------------------------------
     # wiring (done by the combiner builder)
@@ -137,12 +146,16 @@ class CombinerEndpoint(OpenFlowSwitch):
             raise NetworkError(f"{self.name}: port {port_no} already a branch")
         self._branch_by_port[port_no] = branch
         self._port_by_branch.setdefault(branch, port_no)
+        self._fan_cache = None
+        self._ext_cache = None
         if claim is not None:
             self._claim_by_port[port_no] = claim
 
     def assign_compare_port(self, port_no: int) -> None:
         """Mark ``port_no`` as the in-band attachment to the compare host."""
         self._compare_port_no = port_no
+        self._fan_cache = None
+        self._ext_cache = None
 
     def attach_compare_controller(self, core: CompareCore) -> None:
         """Use the control channel (packet-in/packet-out) to reach the
@@ -188,6 +201,114 @@ class CombinerEndpoint(OpenFlowSwitch):
             self.handle_release(packet)
         else:
             self._from_external(packet, in_port_no)
+
+    # ------------------------------------------------------------------
+    # packet-train fast path (batch realm)
+    # ------------------------------------------------------------------
+    def _serve_batch_packet(self, batch, i: int, in_port_no: int, now: float) -> None:
+        """:meth:`_process` for one train packet (clock already patched).
+
+        Mirrors the trusted routing exactly; the hand-off to the compare
+        is a *vote boundary* — the train splits there so vote keys,
+        alarms and quarantine behaviour are bit-identical.
+        """
+        branch = self._branch_by_port.get(in_port_no)
+        if branch is not None:
+            self.estats.collected += 1
+            if self.mark_sources:
+                src = batch.template.fields()[0].src
+                if src != branch_marker(branch):
+                    self.estats.spoof_drops += 1
+                    self.alarms.raise_alarm(
+                        now,
+                        ALARM_SPOOFED_BRANCH,
+                        self.name,
+                        branch=branch,
+                        claimed=str(src),
+                    )
+                    return
+            if self.mode == MODE_DUP:
+                self._forward_external_batch(batch, i, now)
+                return
+            self._submit_batch_packet(
+                batch, i, branch, self._claim_by_port.get(in_port_no)
+            )
+            return
+        if in_port_no == self._compare_port_no:
+            # Releases only ever arrive as ordinary packets; defensive.
+            self.sim.realm.note_fallback("mixed-headers")
+            self.handle_release(batch.packet_at(i))
+            return
+        self._from_external_batch(batch, i, in_port_no, now)
+
+    def _from_external_batch(self, batch, i: int, in_port_no: int, now: float) -> None:
+        """Hub role for one train packet: learn, fan the shared batch."""
+        if self.mark_sources:
+            # Marked copies mutate per branch: per-packet semantics.
+            self.sim.realm.note_fallback("mixed-headers")
+            self._from_external(batch.packet_at(i), in_port_no)
+            return
+        self.estats.external_in += 1
+        eth, _vlan, ip, _l4, _payload = batch.template.fields()
+        if not eth.src.is_multicast:
+            self._mac_table[eth.src] = in_port_no
+            if ip is not None:
+                self.address_registry[ip.src] = eth.src
+        fan = self._fan_cache
+        if fan is None:
+            fan = [
+                self.ports[self._port_by_branch[b]]
+                for b in self.branch_ids
+                if self._port_by_branch[b] in self.ports
+                and self.ports[self._port_by_branch[b]].is_wired
+            ]
+            self._fan_cache = fan
+        estats = self.estats
+        for port in fan:
+            port.send_batch_packet(batch, i, now)
+            estats.duplicated += 1
+
+    def _submit_batch_packet(
+        self, batch, i: int, branch: int, claim: Optional[int]
+    ) -> None:
+        """Collector role: the vote boundary — materialise and submit."""
+        self.estats.submitted += 1
+        self.sim.realm.note_fallback("vote-boundary")
+        if self._compare_core is not None:
+            self.stats.packet_ins += 1
+            self._send_to_controller(
+                PacketIn(
+                    datapath_id=self.datapath_id,
+                    packet=batch.packet_at(i),
+                    in_port=self._port_by_branch[branch],
+                    reason=PACKETIN_NO_MATCH,
+                )
+            )
+            return
+        if self._compare_port_no is None:
+            raise NetworkError(f"{self.name}: no compare attachment configured")
+        tagged = batch.packet_at(i).copy()
+        tagged.meta = {"branch": branch, "endpoint": self.name, "claim": claim}
+        self.ports[self._compare_port_no].send(tagged)
+
+    def _forward_external_batch(self, batch, i: int, now: float) -> None:
+        """Egress role for one train packet (dup mode: no compare)."""
+        ext = self._ext_cache
+        if ext is None:
+            nos = self.external_ports()
+            ext = (frozenset(nos), [self.ports[no] for no in nos])
+            self._ext_cache = ext
+        ext_nos, ext_ports = ext
+        out_port_no = self._mac_table.get(batch.template.fields()[0].dst)
+        if out_port_no is not None and out_port_no in ext_nos:
+            self.ports[out_port_no].send_batch_packet(batch, i, now)
+            self.stats.forwarded += 1
+            return
+        self.estats.flooded += 1
+        for port in ext_ports:
+            port.send_batch_packet(batch, i, now)
+        if ext_ports:
+            self.stats.forwarded += 1
 
     def _from_external(self, packet: Packet, in_port_no: int) -> None:
         """Hub role: learn the source, duplicate to every branch."""

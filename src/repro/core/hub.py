@@ -62,6 +62,22 @@ class Hub(Node):
             self._branch_ports = ports
         return ports
 
+    def receive_batch_packet(self, batch, i: int, in_port: Port) -> None:
+        """:meth:`receive` for one train packet: the fan-out shares the
+        batch across branches (nothing downstream mutates it), so no
+        per-branch copies are materialised."""
+        now = self.sim._now
+        if in_port.port_no == UPSTREAM_PORT:
+            for port in self._branches():
+                if port.is_wired:
+                    port.send_batch_packet(batch, i, now)
+                    self.duplicated += 1
+        else:
+            upstream = self.ports[UPSTREAM_PORT]
+            if upstream.is_wired:
+                upstream.send_batch_packet(batch, i, now)
+                self.merged += 1
+
     def receive(self, packet: Packet, in_port: Port) -> None:
         if in_port.port_no == UPSTREAM_PORT:
             fanout = 0

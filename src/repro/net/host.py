@@ -76,6 +76,9 @@ class Host(Node):
         self.rx_dropped = 0
         self.promiscuous = promiscuous
         self._udp_handlers: Dict[int, PacketHandler] = {}
+        # Batch-aware UDP agents: dport -> fn(batch, i).  Bound alongside
+        # the per-packet handler; used by the packet-train fast path.
+        self._udp_batch_handlers: Dict[int, Callable] = {}
         self._tcp_handlers: Dict[int, PacketHandler] = {}
         self._icmp_handler: Optional[PacketHandler] = None
         self._raw_handler: Optional[PacketHandler] = None
@@ -95,8 +98,19 @@ class Host(Node):
             raise NetworkError(f"{self.name}: UDP port {port} already bound")
         self._udp_handlers[port] = handler
 
+    def bind_udp_batch(self, port: int, handler: Callable) -> None:
+        """Register a train-aware companion to a bound UDP handler.
+
+        ``handler(batch, i)`` must account packet ``i`` of ``batch``
+        exactly as the per-packet handler would account the materialised
+        packet; the per-packet handler stays the source of truth for
+        every non-batched delivery.
+        """
+        self._udp_batch_handlers[port] = handler
+
     def unbind_udp(self, port: int) -> None:
         self._udp_handlers.pop(port, None)
+        self._udp_batch_handlers.pop(port, None)
 
     def bind_tcp(self, port: int, handler: PacketHandler) -> None:
         if port in self._tcp_handlers:
@@ -137,6 +151,10 @@ class Host(Node):
         depart = max(self.sim.now, self._cpu_busy_until) + self._stack_traversal()
         if depart <= self.sim.now:
             self.port(1).send(packet)
+            return
+        realm = self.sim.realm
+        if realm is not None:
+            realm.post(depart, self.port(1).send, (packet,))
         else:
             self.sim.schedule_at(depart, lambda: self.port(1).send(packet))
 
@@ -167,7 +185,142 @@ class Host(Node):
             self._recv_queued -= 1
             self._dispatch(packet)
 
-        self.sim.schedule_at(finish + self._stack_traversal(), _deliver)
+        realm = self.sim.realm
+        if realm is not None:
+            realm.post(finish + self._stack_traversal(), _deliver, ())
+        else:
+            self.sim.schedule_at(finish + self._stack_traversal(), _deliver)
+
+    def receive_batch_packet(self, batch, i: int, in_port: Port) -> None:
+        """:meth:`receive` for one train packet, at the patched clock.
+
+        Mirrors the per-packet path statement for statement: same counter
+        order, same CPU booking arithmetic, and — critically — the stack
+        jitter is drawn *at arrival time*, so the host RNG stream advances
+        exactly as in the unbatched run.
+        """
+        dst = batch.template.fields()[0].dst
+        if dst != self.mac and not dst.is_broadcast and not self.promiscuous:
+            self.rx_foreign += 1
+            self.trace("host.foreign_frame", packet=batch.packet_at(i))
+            return
+        cost = self.recv_cost_base + self.recv_cost_per_byte * batch.wire_len
+        if cost <= 0 and self.stack_delay <= 0:
+            self._dispatch_batch_packet(batch, i)
+            return
+        if self._recv_queued >= self.recv_queue_capacity:
+            self.rx_dropped += 1
+            self.trace("host.rx_drop", packet=batch.packet_at(i))
+            return
+        now = self.sim._now
+        start = self._cpu_busy_until
+        if start < now:
+            start = now
+        finish = start + cost
+        self._cpu_busy_until = finish
+        self._recv_queued += 1
+        # One micro-event per delivery: host deliver times are not
+        # guaranteed monotone (jitter can exceed a zero-cost gap), so a
+        # FIFO pump would be unsound here — the realm heap orders them.
+        self.sim.realm.post(
+            finish + self._stack_traversal(), self._deliver_batch_packet, (batch, i)
+        )
+
+    def _deliver_batch_packet(self, batch, i: int) -> None:
+        self._recv_queued -= 1
+        self._dispatch_batch_packet(batch, i)
+
+    def _dispatch_batch_packet(self, batch, i: int) -> None:
+        l4 = batch.template.fields()[3]
+        if type(l4) is Udp and self._raw_handler is None:
+            handler = self._udp_batch_handlers.get(l4.dport)
+            if handler is not None:
+                handler(batch, i)
+                return
+        # No batch-aware agent for this shape: hand the materialised
+        # packet to the ordinary demultiplexer (exact under the patched
+        # clock — same handlers, same unhandled trace).
+        self.sim.realm.note_fallback("mixed-headers")
+        self._dispatch(batch.packet_at(i))
+
+    # ------------------------------------------------------------------
+    # packet-train injection (batch realm)
+    # ------------------------------------------------------------------
+    def send_batch(self, batch, times) -> None:
+        """Inject a train; packet ``i`` departs as if sent at ``times[i]``.
+
+        Replays :meth:`send` per packet: the tracer mark and the stack
+        jitter draw happen in emission order at each packet's send time,
+        so both RNG streams advance exactly as in the unbatched run.
+        Packets the tracer samples are split out of the train and travel
+        the legacy per-packet path so their span hops are recorded.
+        """
+        realm = self.sim.realm
+        realm.merges_total += 1
+        tracer = self.tracer
+        bus = self.trace_bus
+        busy = self._cpu_busy_until
+        port = self.port(1)
+        idxs = []
+        departs = []
+        if bus is not None:
+            bus.emit(times[0], "batch.merge", self.name,
+                     train=batch.count, wire_len=batch.wire_len)
+        for i in range(batch.count):
+            t = times[i]
+            if tracer is not None:
+                pkt = batch.packet_at(i)
+                tracer.mark(pkt, t, self.name)
+                if pkt.trace_id is not None:
+                    # Sampled: give it the full per-packet journey.
+                    realm.note_fallback("mixed-headers")
+                    if bus is not None:
+                        bus.emit(t, "batch.split", self.name,
+                                 trace=pkt.trace_id, index=i, train=batch.count)
+                    depart = max(t, busy) + self._stack_traversal()
+                    if depart <= t:
+                        realm.post(t, port.send, (pkt,))
+                    else:
+                        realm.post(depart, port.send, (pkt,))
+                    continue
+            depart = max(t, busy) + self._stack_traversal()
+            idxs.append(i)
+            departs.append(depart if depart > t else t)
+        if not idxs:
+            return
+        if any(departs[k] < departs[k - 1] for k in range(1, len(departs))):
+            # Jitter exceeded the send interval somewhere: the in-order
+            # walk would misorder departures, so let the realm heap
+            # schedule each one (rare — never with calibrated params).
+            for k, i in enumerate(idxs):
+                realm.post(departs[k], port.send_batch_packet, (batch, i, departs[k]))
+            return
+        realm.post(departs[0], self._batch_egress, (batch, idxs, departs, 0))
+
+    def _batch_egress(self, batch, idxs, departs, j: int) -> None:
+        """Walk a train's departures through port 1 in timestamp order.
+
+        Invoked at ``departs[j]``; keeps going inline while the realm
+        says no other event is due first, otherwise re-posts itself at
+        the next departure.
+        """
+        sim = self.sim
+        realm = sim.realm
+        port = self.port(1)
+        n = len(idxs)
+        while True:
+            port.send_batch_packet(batch, idxs[j], sim._now)
+            j += 1
+            if j >= n:
+                return
+            t = departs[j]
+            if t <= sim._now:
+                continue
+            if realm.runnable(t):
+                sim._now = t
+                continue
+            realm.post(t, self._batch_egress, (batch, idxs, departs, j))
+            return
 
     def _stack_traversal(self) -> float:
         if self.stack_jitter > 0.0 and self._rng is not None:

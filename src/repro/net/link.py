@@ -138,7 +138,73 @@ class _Direction:
             self.stats.delivered_bytes += wire_len
             deliver_to.deliver(packet)
 
-        sim.schedule_at(arrive, _complete)
+        realm = sim.realm
+        if realm is not None:
+            # Keep single-packet completions on the realm's micro heap so
+            # they interleave with train packets in global time order.
+            realm.post(arrive, _complete, ())
+        else:
+            sim.schedule_at(arrive, _complete)
+
+    # ------------------------------------------------------------------
+    # packet-train fast path (batch realm)
+    # ------------------------------------------------------------------
+    def ingress_batch_packet(self, batch, i: int, now: float, deliver_to: "Port") -> None:
+        """:meth:`transmit` for one train packet at virtual time ``now``."""
+        link = self._link
+        stats = self.stats
+        if link._down:
+            stats.fault_drops += 1
+            link.trace(now, "link.drop", self._name, reason="down",
+                       packet=batch.packet_at(i))
+            return
+        if self._queued >= self._queue_capacity:
+            stats.queue_drops += 1
+            link.trace(now, "link.drop", self._name, reason="queue",
+                       packet=batch.packet_at(i))
+            return
+        wire_len = batch.wire_len
+        stats.tx_packets += 1
+        stats.tx_bytes += wire_len
+        rate = self._rate_bps
+        if rate is None:
+            start = finish = now
+        else:
+            start = self._busy_until
+            if start < now:
+                start = now
+            finish = start + wire_len * 8.0 / rate
+            self._busy_until = finish
+        self._queued += 1
+        if self._h_queue_delay is not None:
+            self._h_queue_delay.observe(start - now)
+        if self._loss_model is not None:
+            lost = self._loss_model()
+        elif self._loss > 0.0:
+            lost = link.rng.random() < self._loss
+        else:
+            lost = False
+        link.sim.realm.post(
+            finish + self._delay, self._arrive_batch_packet,
+            (batch, i, lost, deliver_to),
+        )
+
+    def _arrive_batch_packet(self, batch, i: int, lost: bool, deliver_to: "Port") -> None:
+        """Micro-event: one train packet reaches the far end of the wire.
+
+        Same-time arrivals keep ingress order (micro FIFO by posting
+        sequence mirrors the legacy event heap's tie-break)."""
+        self._queued -= 1
+        stats = self.stats
+        now = self._link.sim._now
+        if lost:
+            stats.loss_drops += 1
+            self._link.trace(now, "link.drop", self._name, reason="loss",
+                             packet=batch.packet_at(i))
+            return
+        stats.delivered_packets += 1
+        stats.delivered_bytes += batch.wire_len
+        deliver_to.deliver_batch_packet(batch, i, now)
 
     @property
     def queue_depth(self) -> int:
@@ -252,6 +318,17 @@ class Link:
             self._b_to_a.transmit(packet, self.a)
         else:
             raise ValueError(f"port {src_port.full_name} is not an endpoint of {self.name}")
+
+    def send_from_batch(self, src_port: "Port", batch, i: int, now: float) -> None:
+        """Transmit one train packet out of ``src_port`` at time ``now``."""
+        if src_port is self.a:
+            self._a_to_b.ingress_batch_packet(batch, i, now, self.b)
+        elif src_port is self.b:
+            self._b_to_a.ingress_batch_packet(batch, i, now, self.a)
+        else:
+            raise ValueError(
+                f"port {src_port.full_name} is not an endpoint of {self.name}"
+            )
 
     def peer_of(self, port: "Port") -> "Port":
         if port is self.a:

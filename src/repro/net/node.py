@@ -24,7 +24,7 @@ class Port:
     """A numbered attachment point on a node."""
 
     __slots__ = ("node", "port_no", "link", "rx_packets", "rx_bytes", "tx_packets",
-                 "tx_bytes", "taps", "blocked_until")
+                 "tx_bytes", "taps", "blocked_until", "_egress_dir", "_egress_to")
 
     def __init__(self, node: "Node", port_no: int) -> None:
         self.node = node
@@ -38,6 +38,10 @@ class Port:
         self.taps: List[Callable[["Packet"], None]] = []
         # A port may be administratively blocked (compare DoS mitigation).
         self.blocked_until: float = 0.0
+        # Train fast path: the link direction this port transmits into and
+        # the far-end port, resolved once on first use (wiring is static).
+        self._egress_dir = None
+        self._egress_to: Optional["Port"] = None
 
     @property
     def full_name(self) -> str:
@@ -72,6 +76,44 @@ class Port:
         if packet.trace_id is not None:
             self._span(packet, "span.send", now)
         self.link.send_from(self, packet)
+
+    def send_batch_packet(self, batch, i: int, now: float) -> None:
+        """:meth:`send` for one packet of a train at virtual time ``now``.
+
+        Train packets are never trace-marked (marked packets split out of
+        the train at emission), so the span branch is omitted.
+        """
+        link = self.link
+        if link is None:
+            return
+        if now < self.blocked_until:
+            self.node.trace(
+                "port.blocked_drop", port=self.port_no, packet=batch.packet_at(i)
+            )
+            return
+        self.tx_packets += 1
+        self.tx_bytes += batch.wire_len
+        direction = self._egress_dir
+        if direction is None:
+            direction = link._a_to_b if self is link.a else link._b_to_a
+            self._egress_dir = direction
+            self._egress_to = link.peer_of(self)
+        direction.ingress_batch_packet(batch, i, now, self._egress_to)
+
+    def deliver_batch_packet(self, batch, i: int, now: float) -> None:
+        """:meth:`deliver` for one packet of a train at time ``now``."""
+        self.rx_packets += 1
+        self.rx_bytes += batch.wire_len
+        if self.taps:
+            pkt = batch.packet_at(i)
+            for tap in self.taps:
+                tap(pkt)
+        if now < self.blocked_until:
+            self.node.trace(
+                "port.blocked_drop", port=self.port_no, packet=batch.packet_at(i)
+            )
+            return
+        self.node.receive_batch_packet(batch, i, self)
 
     def deliver(self, packet: "Packet") -> None:
         """Called by the link when a packet arrives at this port."""
@@ -146,6 +188,16 @@ class Node:
     def receive(self, packet: "Packet", in_port: Port) -> None:
         """Handle a packet arriving on ``in_port``.  Subclasses override."""
         raise NotImplementedError
+
+    def receive_batch_packet(self, batch, i: int, in_port: Port) -> None:
+        """Handle one packet of a train arriving on ``in_port``.
+
+        The default materialises the packet and calls :meth:`receive` —
+        with the simulator clock patched to the packet's virtual time
+        this is exact, just slower.  Batch-aware elements override it.
+        """
+        self.sim.realm.note_fallback("mixed-headers")
+        self.receive(batch.packet_at(i), in_port)
 
     def trace(self, topic: str, **data: object) -> None:
         if self.trace_bus is not None:

@@ -897,3 +897,235 @@ class Packet:
 
     def __repr__(self) -> str:
         return f"Packet({self.summary()})"
+
+
+class PacketBatch:
+    """A packet train: one header template plus per-packet deltas.
+
+    Batches carry the N packets of a CBR train through the data plane as
+    one object.  Packet ``0`` *is* the template; packet ``i`` differs
+    from it only in its IPv4 ident and the leading ``heads[i]`` bytes of
+    its payload (for UDP trains: the 12-byte seq/timestamp header).  The
+    per-packet wire images live in one contiguous buffer: the template
+    is serialised once — one vectorised RFC 1071 checksum pass — then
+    stamped N times and each copy gets constant-time RFC 1624 patches
+    for its ident, payload head, and the two checksums that cover them.
+    The result is bit-identical to serialising each packet from scratch
+    (property-tested in ``tests/test_packet_batch.py``).
+
+    ``seqs``/``ts_ns`` are opaque traffic-layer annotations (the decoded
+    form of the head bytes) so receivers can do per-seq accounting
+    without parsing payloads.  :meth:`packet_at` lazily materialises a
+    real :class:`Packet` — with a pre-warmed wire cache — wherever the
+    pipeline must fall back to per-packet handling.
+    """
+
+    __slots__ = (
+        "template",
+        "count",
+        "heads",
+        "idents",
+        "seqs",
+        "ts_ns",
+        "wire_len",
+        "payload_size",
+        "_packets",
+        "_buffer",
+        "_patchable",
+    )
+
+    def __init__(
+        self,
+        template: Packet,
+        heads: List[bytes],
+        idents: List[int],
+        seqs: Optional[List[int]] = None,
+        ts_ns: Optional[List[int]] = None,
+    ) -> None:
+        count = len(heads)
+        if count < 1:
+            raise PacketError("empty packet batch")
+        if len(idents) != count:
+            raise PacketError("idents/heads length mismatch")
+        payload = template._payload
+        for head in heads:
+            if len(head) > len(payload):
+                raise PacketError("payload head longer than template payload")
+        self.template = template
+        self.count = count
+        self.heads = heads
+        self.idents = idents
+        self.seqs = seqs
+        self.ts_ns = ts_ns
+        self.wire_len = template.wire_len
+        self.payload_size = len(payload)
+        self._packets: Optional[List[Optional[Packet]]] = None
+        self._buffer: Optional[bytearray] = None
+        eth, vlan, ip, l4, _ = template.fields()
+        self._patchable = (
+            vlan is None and ip is not None and isinstance(l4, Udp)
+        )
+
+    # ------------------------------------------------------------------
+    # wire images
+    # ------------------------------------------------------------------
+    def wire_buffer(self) -> bytearray:
+        """The contiguous buffer of all ``count`` wire images."""
+        buf = self._buffer
+        if buf is None:
+            buf = self._build_buffer()
+            self._buffer = buf
+        return buf
+
+    def _build_buffer(self) -> bytearray:
+        wire0 = self.template.to_bytes()
+        wl = len(wire0)
+        if not self._patchable:
+            # generic (rare) shape: serialise each packet independently
+            parts = [wire0]
+            for i in range(1, self.count):
+                parts.append(self._construct(i).to_bytes())
+            return bytearray(b"".join(parts))
+        buf = bytearray(wire0 * self.count)
+        ident0 = (wire0[18] << 8) | wire0[19]
+        ipc0 = (wire0[24] << 8) | wire0[25]
+        udpc0 = (wire0[40] << 8) | wire0[41]
+        head0 = bytes(wire0[42:])
+        idents = self.idents
+        heads = self.heads
+        for i in range(1, self.count):
+            base = i * wl
+            ident = idents[i]
+            if ident != ident0:
+                ipc = incremental_checksum_update(ipc0, ident0, ident)
+                buf[base + 18] = ident >> 8
+                buf[base + 19] = ident & 0xFF
+                buf[base + 24] = ipc >> 8
+                buf[base + 25] = ipc & 0xFF
+            head = heads[i]
+            hl = len(head)
+            if hl & 1:  # word-align the patched region
+                head = head + head0[hl : hl + 1]
+                hl += 1
+            if head != head0[:hl]:
+                # RFC 1624 over every payload word the head rewrites
+                total = ~udpc0 & 0xFFFF
+                for off in range(0, hl, 2):
+                    old_w = (head0[off] << 8) | head0[off + 1]
+                    new_w = (head[off] << 8) | head[off + 1]
+                    total += (~old_w & 0xFFFF) + new_w
+                while total >> 16:
+                    total = (total & 0xFFFF) + (total >> 16)
+                udpc = (~total) & 0xFFFF
+                buf[base + 42 : base + 42 + hl] = head
+                buf[base + 40] = udpc >> 8
+                buf[base + 41] = udpc & 0xFF
+        return buf
+
+    # ------------------------------------------------------------------
+    # per-packet materialisation (the fallback boundary)
+    # ------------------------------------------------------------------
+    def packet_at(self, i: int) -> Packet:
+        """Materialise packet ``i`` (memoised; ``0`` is the template)."""
+        pkts = self._packets
+        if pkts is None:
+            pkts = self._packets = [None] * self.count
+        pkt = pkts[i]
+        if pkt is None:
+            if i == 0:
+                pkt = self.template
+            else:
+                pkt = self._construct(i)
+                wl = self.wire_len
+                buf = self.wire_buffer()
+                pkt._wire = bytes(buf[i * wl : (i + 1) * wl])
+                pkt._snap = pkt._snapshot()
+            pkts[i] = pkt
+        return pkt
+
+    def _construct(self, i: int) -> Packet:
+        """Build packet ``i``'s header stack (no wire cache)."""
+        t = self.template
+        eth, vlan, ip, l4, payload = t.fields()
+        head = self.heads[i]
+        new_ip = ip.copy() if ip is not None else None
+        if new_ip is not None:
+            new_ip.ident = self.idents[i]
+        return Packet(
+            eth.copy(),
+            new_ip,
+            l4.copy() if l4 is not None else None,
+            head + payload[len(head) :],
+            vlan=vlan.copy() if vlan is not None else None,
+        )
+
+    def packets(self) -> List[Packet]:
+        """Materialise every packet of the train, in order."""
+        return [self.packet_at(i) for i in range(self.count)]
+
+    # ------------------------------------------------------------------
+    # batch-level rewrites: patch every cached wire image in one sweep
+    # ------------------------------------------------------------------
+    def decrement_ttl(self, delta: int = 1) -> None:
+        """Decrement TTL across the train (template, buffer, packets)."""
+        buf = self._buffer
+        if buf is not None and self._patchable:
+            wl = self.wire_len
+            for i in range(self.count):
+                base = i * wl
+                ttl = buf[base + 22]
+                new_ttl = ttl - delta
+                if not 0 <= new_ttl <= 255:
+                    raise PacketError(f"TTL out of range after decrement: {new_ttl}")
+                csum = (buf[base + 24] << 8) | buf[base + 25]
+                proto = buf[base + 23]
+                csum = incremental_checksum_update(
+                    csum, (ttl << 8) | proto, (new_ttl << 8) | proto
+                )
+                buf[base + 22] = new_ttl
+                buf[base + 24] = csum >> 8
+                buf[base + 25] = csum & 0xFF
+        elif buf is not None:
+            self._buffer = None  # generic shape: rebuild lazily
+        pkts = self._packets
+        if pkts is not None:
+            for pkt in pkts:
+                if pkt is not None:
+                    pkt.decrement_ttl(delta)
+            if pkts[0] is None:
+                self.template.decrement_ttl(delta)
+        else:
+            self.template.decrement_ttl(delta)
+
+    def rewrite_eth(
+        self,
+        src: Optional[MacAddress] = None,
+        dst: Optional[MacAddress] = None,
+    ) -> None:
+        """Rewrite Ethernet addresses across the train in one sweep."""
+        buf = self._buffer
+        if buf is not None:
+            wl = self.wire_len
+            src_b = src.to_bytes() if src is not None else None
+            dst_b = dst.to_bytes() if dst is not None else None
+            for i in range(self.count):
+                base = i * wl
+                if dst_b is not None:
+                    buf[base : base + 6] = dst_b
+                if src_b is not None:
+                    buf[base + 6 : base + 12] = src_b
+        pkts = self._packets
+        if pkts is not None:
+            for pkt in pkts:
+                if pkt is not None:
+                    pkt.rewrite_eth(src=src, dst=dst)
+            if pkts[0] is None:
+                self.template.rewrite_eth(src=src, dst=dst)
+        else:
+            self.template.rewrite_eth(src=src, dst=dst)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return f"PacketBatch({self.count}x {self.template.summary()})"

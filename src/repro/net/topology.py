@@ -21,10 +21,20 @@ from repro.sim import RngStreams, Simulator, TraceBus
 class Network:
     """A simulated network: nodes, links, and the shared simulation state."""
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, batch_train: int = 1) -> None:
         self.sim = Simulator()
         self.trace = TraceBus()
         self.rng = RngStreams(seed)
+        # Packet-train batching: train >= 2 attaches a BatchRealm so CBR
+        # senders emit trains of that size; train == 1 leaves the
+        # event-per-packet engine byte-for-byte untouched.
+        self.batch_train = batch_train
+        if batch_train >= 2:
+            from repro.sim.realm import BatchRealm
+
+            BatchRealm(self.sim, batch_train)
+        elif batch_train < 1:
+            raise NetworkError(f"batch_train must be >= 1, got {batch_train}")
         self.nodes: Dict[str, Node] = {}
         self.links: List[Link] = []
         # adjacency[(a, b)] -> port on a that faces b (first such link wins)

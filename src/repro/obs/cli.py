@@ -28,6 +28,7 @@ def _cmd_summary(args: argparse.Namespace) -> int:
         seed=args.seed,
         sample_rate=args.sample,
         duration=args.duration,
+        train=args.train,
     )
     print(render_summary(report))
     if args.report:
@@ -105,6 +106,9 @@ def obs_main(argv: Optional[List[str]] = None) -> int:
                            help="packet-trace sampling rate in [0,1] (default 1.0)")
     p_summary.add_argument("--duration", type=float, default=None, metavar="SECONDS",
                            help="per-scenario flow duration")
+    p_summary.add_argument("--train", type=int, default=1, metavar="N",
+                           help="packets per train for the batch tier "
+                                "(default 1: per-packet path)")
     p_summary.add_argument("--report", metavar="PATH",
                            help="write the RunReport JSON here")
     p_summary.add_argument("--prometheus", metavar="PATH",

@@ -66,6 +66,24 @@ def collect_network(
     ).set(sim.peak_pending_events)
     registry.gauge("sim_time_seconds", "simulated clock at snapshot").set(sim.now)
 
+    realm = getattr(sim, "realm", None)
+    if realm is not None:
+        # the push instruments (batches_total, batch_fallback_total,
+        # batch_size_packets) bind at realm construction; pull only the
+        # remaining snapshot counters so nothing double-counts
+        registry.gauge(
+            "batch_train", "configured packets per train"
+        ).set(realm.train)
+        registry.counter(
+            "batch_packets_total", "packets carried inside trains"
+        ).inc(realm.packets_batched)
+        registry.counter(
+            "batch_splits_total", "packets split out of trains"
+        ).inc(realm.splits_total)
+        registry.counter(
+            "batch_merges_total", "trains assembled for injection"
+        ).inc(realm.merges_total)
+
     trace = getattr(network, "trace", None)
     if trace is not None:
         registry.counter(

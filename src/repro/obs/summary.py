@@ -56,9 +56,10 @@ def run_instrumented_scenario(
     duration: float = 0.02,
     seed: int = 1,
     sample_rate: float = 1.0,
+    train: int = 1,
 ) -> ScenarioRun:
     """Build one testbed variant with observability on and run UDP through it."""
-    from repro.scenarios.testbed import build_testbed
+    from repro.scenarios.testbed import TestbedParams, build_testbed
     from repro.traffic.iperf import run_udp_flow
 
     if rate_bps is None:
@@ -66,8 +67,9 @@ def run_instrumented_scenario(
     registry = MetricsRegistry(enabled=True)
     # Components bind instruments at construction time, so the registry
     # must be active while the testbed is built.
+    params = TestbedParams(batch_train=train) if train > 1 else None
     with use_registry(registry):
-        testbed = build_testbed(variant, seed=seed)
+        testbed = build_testbed(variant, params=params, seed=seed)
     tracer = PacketTracer(testbed.network.trace, sample_rate=sample_rate)
     tracer.attach(testbed.network)
     result = run_udp_flow(
@@ -102,6 +104,7 @@ def build_run_report(
     seed: int = 1,
     sample_rate: float = 1.0,
     scenarios: Optional[Tuple[str, ...]] = None,
+    train: int = 1,
 ) -> Tuple[RunReport, List[ScenarioRun]]:
     """Run the instrumented scenario set and assemble a RunReport."""
     if scenarios is None:
@@ -110,7 +113,8 @@ def build_run_report(
         duration = 0.01 if quick else 0.02
     runs = [
         run_instrumented_scenario(
-            variant, duration=duration, seed=seed, sample_rate=sample_rate
+            variant, duration=duration, seed=seed, sample_rate=sample_rate,
+            train=train,
         )
         for variant in scenarios
     ]
@@ -122,6 +126,7 @@ def build_run_report(
             "duration": duration,
             "sample_rate": sample_rate,
             "scenarios": list(scenarios),
+            "train": train,
         },
     )
     for run in runs:
@@ -216,6 +221,18 @@ def render_summary(report: RunReport) -> str:
                         f"    {key}: count={value['count']} p50<={p50:g} p99<={p99:g}"
                     )
                 elif value:
+                    lines.append(f"    {key} = {value:g}")
+        batch_rows = _metric_rows(report, "batch", scenario)
+        if batch_rows:
+            lines.append("  batches:")
+            for key, value in batch_rows:
+                if isinstance(value, dict):
+                    p50 = _hist_quantile(value, 0.5)
+                    p99 = _hist_quantile(value, 0.99)
+                    lines.append(
+                        f"    {key}: count={value['count']} p50<={p50:g} p99<={p99:g}"
+                    )
+                else:
                     lines.append(f"    {key} = {value:g}")
         flow_rows = _metric_rows(report, "flowtable_", scenario)
         if flow_rows:

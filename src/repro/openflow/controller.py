@@ -107,7 +107,13 @@ class Controller:
             self._in_service -= 1
             self._dispatch(switch, message)
 
-        self.sim.schedule_at(finish, _serve)
+        realm = self.sim.realm
+        if realm is not None:
+            # Control-channel service must interleave with in-flight train
+            # packets in global time order (POX3 exactness).
+            realm.post(finish, _serve, ())
+        else:
+            self.sim.schedule_at(finish, _serve)
 
     def _dispatch(self, switch: "OpenFlowSwitch", message: object) -> None:
         if isinstance(message, PacketIn):
@@ -132,7 +138,13 @@ class Controller:
             self.outbox(self, switch, message)
             return
         latency = switch.controller_latency()
-        self.sim.schedule(latency, lambda: switch.handle_controller_message(message))
+        realm = self.sim.realm
+        if realm is not None:
+            realm.post(
+                self.sim.now + latency, switch.handle_controller_message, (message,)
+            )
+        else:
+            self.sim.schedule(latency, lambda: switch.handle_controller_message(message))
 
     def send_flow_mod(self, switch: "OpenFlowSwitch", mod: FlowMod) -> None:
         self.send(switch, mod)

@@ -108,6 +108,11 @@ class FlowTable:
         self.index_hits = 0
         self.scan_steps = 0
         self.misses = 0
+        # Mutation stamp + timeout flag for the packet-train lookup memo:
+        # a train may reuse its first packet's lookup only while the
+        # table is unchanged and no entry can expire between siblings.
+        self.epoch = 0
+        self.has_timeouts = False
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -135,6 +140,10 @@ class FlowTable:
 
     def _rebuild(self) -> None:
         """Re-sort and re-index after any control-plane mutation."""
+        self.epoch += 1
+        self.has_timeouts = any(
+            e.idle_timeout > 0.0 or e.hard_timeout > 0.0 for e in self._entries
+        )
         self._entries.sort(key=_rank)
         exact: Dict[tuple, List[FlowEntry]] = {}
         wildcard: List[FlowEntry] = []

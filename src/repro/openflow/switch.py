@@ -51,6 +51,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.adversary.behaviors import AdversarialBehavior
     from repro.openflow.controller import Controller
 
+#: train-memo marker: the resolved Output port exists but is not wired
+_BAD_EGRESS = object()
+
 
 class SwitchStats:
     """Datapath-level counters."""
@@ -124,6 +127,9 @@ class OpenFlowSwitch(Node):
         self._packet_buffer: Dict[int, Tuple[Packet, int]] = {}
         self._packet_buffer_capacity = packet_buffer_capacity
         self._buffer_seq = 0
+        # One-entry flow-lookup memo for trains: (table, epoch, batch,
+        # in_port_no, entry, d_lookups, d_index, d_scan, d_misses).
+        self._bmemo: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # control channel
@@ -140,6 +146,14 @@ class OpenFlowSwitch(Node):
     def _send_to_controller(self, message: object) -> None:
         controller = self._controller
         if controller is None:
+            return
+        realm = self.sim.realm
+        if realm is not None:
+            realm.post(
+                self.sim.now + self._controller_latency,
+                controller.receive_from_switch,
+                (self, message),
+            )
             return
         self.sim.schedule(
             self._controller_latency, lambda: controller.receive_from_switch(self, message)
@@ -185,7 +199,146 @@ class OpenFlowSwitch(Node):
             self._in_service -= 1
             self._process(packet, in_port.port_no)
 
-        self.sim.schedule_at(finish, _serve)
+        realm = self.sim.realm
+        if realm is not None:
+            realm.post(finish, _serve, ())
+        else:
+            self.sim.schedule_at(finish, _serve)
+
+    # ------------------------------------------------------------------
+    # packet-train fast path (batch realm)
+    # ------------------------------------------------------------------
+    def receive_batch_packet(self, batch, i: int, in_port: Port) -> None:
+        """:meth:`receive` for one train packet (clock already patched)."""
+        stats = self.stats
+        stats.rx_packets += 1
+        if self._failed:
+            stats.dropped_failed += 1
+            self.trace("switch.drop", reason="failed", packet=batch.packet_at(i))
+            return
+        if self._in_service >= self.service_queue_capacity:
+            stats.dropped_service_queue += 1
+            self.trace("switch.drop", reason="service_queue", packet=batch.packet_at(i))
+            return
+        cost = self.proc_time + self.proc_per_byte * batch.wire_len
+        now = self.sim._now
+        if cost <= 0.0:
+            self._serve_batch_packet(batch, i, in_port.port_no, now)
+            return
+        # cpu.acquire, inlined (hot): book `cost` seconds of FIFO service.
+        cpu = self.cpu
+        busy = cpu._busy_until
+        finish = (now if now > busy else busy) + cost
+        cpu._busy_until = finish
+        cpu.busy_time += cost
+        self._in_service += 1
+        self.sim.realm.post(
+            finish, self._serve_batch_micro, (batch, i, in_port.port_no)
+        )
+
+    def _serve_batch_micro(self, batch, i: int, in_port_no: int) -> None:
+        """Micro-event: CPU service of one train packet completes."""
+        self._in_service -= 1
+        self._serve_batch_packet(batch, i, in_port_no, self.sim._now)
+
+    def _serve_batch_packet(self, batch, i: int, in_port_no: int, now: float) -> None:
+        """:meth:`_process` for one train packet, with a train-granular
+        flow-table probe: the first packet of a train does the real
+        lookup *and* resolves the egress port; its siblings replay the
+        memoised entry, counter deltas and resolved egress (exact —
+        match fields never cover the per-packet deltas, wiring is
+        static, and the memo is invalidated by any table mutation or
+        timeout)."""
+        if self._failed:
+            self.stats.dropped_failed += 1
+            self.trace("switch.drop", reason="failed", packet=batch.packet_at(i))
+            return
+        table = self.table
+        if self.behavior is not None or table.has_timeouts:
+            # adversarial/behavior hook or timeout-bearing entries:
+            # per-packet semantics, handled by the legacy pipeline
+            self.sim.realm.note_fallback("fault-window")
+            self._process(batch.packet_at(i), in_port_no)
+            return
+        memo = self._bmemo
+        if (
+            memo is not None
+            and memo[0] is table
+            and memo[1] == table.epoch
+            and memo[2] is batch
+            and memo[3] == in_port_no
+        ):
+            entry = memo[4]
+            table.lookups += memo[5]
+            table.index_hits += memo[6]
+            table.scan_steps += memo[7]
+            table.misses += memo[8]
+            if entry is not None:
+                entry.packet_count += 1
+                entry.byte_count += batch.wire_len
+                entry.last_matched = now
+                fast = memo[9]
+                if fast is not None:
+                    # forwarded counts before the bad-port check, exactly
+                    # as in the per-packet pipeline
+                    self.stats.forwarded += 1
+                    if fast is _BAD_EGRESS:
+                        self.trace("switch.drop", reason="bad_port",
+                                   port=memo[10], packet=batch.packet_at(i))
+                    else:
+                        fast.send_batch_packet(batch, i, now)
+                    return
+        else:
+            l0, x0 = table.lookups, table.index_hits
+            s0, m0 = table.scan_steps, table.misses
+            entry = table.lookup(batch.template, in_port_no, now)
+            fast = None
+            out_no = -1
+            if entry is not None:
+                actions = entry.actions
+                if len(actions) == 1 and type(actions[0]) is Output:
+                    out_no = actions[0].port
+                    if out_no == PORT_IN_PORT:
+                        out_no = in_port_no
+                    if out_no != PORT_FLOOD and out_no != PORT_CONTROLLER:
+                        port = self.ports.get(out_no)
+                        fast = (
+                            port if port is not None and port.is_wired
+                            else _BAD_EGRESS
+                        )
+            self._bmemo = (
+                table,
+                table.epoch,
+                batch,
+                in_port_no,
+                entry,
+                table.lookups - l0,
+                table.index_hits - x0,
+                table.scan_steps - s0,
+                table.misses - m0,
+                fast,
+                out_no,
+            )
+            if fast is not None:
+                self.stats.forwarded += 1
+                if fast is _BAD_EGRESS:
+                    self.trace("switch.drop", reason="bad_port", port=out_no,
+                               packet=batch.packet_at(i))
+                else:
+                    fast.send_batch_packet(batch, i, now)
+                return
+        if entry is None:
+            self.stats.dropped_no_match += 1
+            self._table_miss(batch.packet_at(i), in_port_no)
+            return
+        actions = entry.actions
+        if not actions:
+            self.stats.dropped_no_actions += 1
+            self.trace("switch.drop", reason="empty_actions", packet=batch.packet_at(i))
+            return
+        # flood / controller output or a mutating action list: materialise
+        self.sim.realm.note_fallback("mixed-headers")
+        self.apply_actions(batch.packet_at(i), actions, in_port_no)
 
     def _process(self, packet: Packet, in_port_no: int) -> None:
         if self._failed:

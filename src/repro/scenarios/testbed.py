@@ -75,6 +75,8 @@ class TestbedParams:
     pox_proc_time: float = 120e-6
     #: per-datagram sender CPU cost for UDP tests (iperf -u syscall path)
     udp_send_cost: float = 42e-6
+    #: packet-train size for the batching tier (1 = event per packet)
+    batch_train: int = 1
     seed: int = 0
 
     def compare_config(self, k: int) -> CompareConfig:
@@ -144,7 +146,7 @@ def build_testbed(
         params = replace(params, seed=seed)
     k, mode, transport = spec.k, spec.mode, spec.transport
 
-    net = Network(seed=params.seed)
+    net = Network(seed=params.seed, batch_train=params.batch_train)
     chain_params = CombinerChainParams(
         k=k,
         mode=mode,

@@ -14,6 +14,7 @@ sequence number), and all randomness flows through seeded
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Callable, List, Optional, Tuple
 
 
@@ -91,6 +92,12 @@ class Simulator:
         self._running = False
         self._events_processed = 0
         self._stop_requested = False
+        #: attached :class:`repro.sim.realm.BatchRealm` (packet-train tier),
+        #: or None when the run is purely event-per-packet
+        self.realm = None
+        #: the ``until`` horizon of the active :meth:`run` call; the batch
+        #: realm must not advance virtual time past it
+        self._horizon = math.inf
 
     # ------------------------------------------------------------------
     # clock
@@ -150,6 +157,7 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         self._stop_requested = False
+        self._horizon = until if until is not None else math.inf
         executed = 0
         queue = self._queue
         try:
@@ -180,10 +188,28 @@ class Simulator:
                 self._now = until
         finally:
             self._running = False
+            self._horizon = math.inf
 
     def stop(self) -> None:
         """Request that :meth:`run` return after the current event."""
         self._stop_requested = True
+
+    def peek_time(self) -> float:
+        """Timestamp of the next live queued event (``inf`` when empty).
+
+        Cancelled entries sitting on top of the heap are popped on the
+        way — they would never fire anyway.  Used by the batch realm to
+        bound how far its micro-events may run ahead of the outer heap.
+        """
+        queue = self._queue
+        while queue:
+            head = queue[0]
+            if head[2].cancelled:
+                heapq.heappop(queue)
+                self._dead -= 1
+                continue
+            return head[0]
+        return math.inf
 
     def pending_events(self) -> int:
         """Number of queued (non-cancelled) events."""

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Optional, Set
 
 from repro.net.host import Host
-from repro.net.packet import Packet
+from repro.net.packet import Packet, PacketBatch
 from repro.traffic.stats import JitterEstimator, ThroughputMeter
 
 _HEADER = struct.Struct("!IQ")  # sequence number, send time in ns
@@ -125,6 +125,10 @@ class UdpSender:
 
     def _send_one(self) -> None:
         sim = self.host.sim
+        realm = sim.realm
+        if realm is not None:
+            self._send_train(realm)
+            return
         if not self._running or sim.now >= self._end_time:
             self._running = False
             return
@@ -143,6 +147,60 @@ class UdpSender:
         self.sent += 1
         sim.schedule(self.interval, self._send_one)
 
+    def _send_train(self, realm) -> None:
+        """Emit up to ``realm.train`` datagrams as one packet train.
+
+        Replays :meth:`_send_one` exactly: sequence numbers, the
+        ``t += interval`` float accumulation, per-packet IP idents drawn
+        in order, and the per-packet ``t >= end_time`` stop condition all
+        match the event-per-packet run bit for bit.  The train's jitter
+        draws happen inside :meth:`Host.send_batch` in the same order.
+        """
+        sim = self.host.sim
+        t = sim.now
+        if not self._running or t >= self._end_time:
+            self._running = False
+            return
+        host = self.host
+        interval = self.interval
+        end = self._end_time
+        seqs = []
+        ts_ns = []
+        idents = []
+        times = []
+        for _ in range(realm.train):
+            seqs.append(self.sent & 0xFFFFFFFF)  # what the wire carries
+            ts_ns.append(int(t * 1e9))
+            idents.append(host.next_ip_ident())
+            times.append(t)
+            self.sent += 1
+            t = t + interval
+            if t >= end:
+                self._running = False
+                break
+        heads = [_HEADER.pack(s & 0xFFFFFFFF, ns) for s, ns in zip(seqs, ts_ns)]
+        pad = b"\x00" * (self.payload_size - _HEADER.size)
+        template = Packet.udp(
+            src_mac=host.mac,
+            dst_mac=self.dst_mac,
+            src_ip=host.ip,
+            dst_ip=self.dst_ip,
+            sport=self.sport,
+            dport=self.dport,
+            payload=heads[0] + pad,
+            ident=idents[0],
+        )
+        if len(seqs) == 1:
+            # Trailing partial train of one: the plain path is cheaper
+            # and trivially exact.
+            host.send(template)
+        else:
+            batch = PacketBatch(template, heads, idents, seqs=seqs, ts_ns=ts_ns)
+            realm.note_batch(batch.count)
+            host.send_batch(batch, times)
+        if self._running:
+            sim.schedule_at(t, self._send_one)
+
 
 class UdpReceiver:
     """Deduplicating iperf-style UDP sink with jitter/loss accounting."""
@@ -158,6 +216,7 @@ class UdpReceiver:
         self.meter = ThroughputMeter()
         self.jitter = JitterEstimator()
         host.bind_udp(port, self._on_packet)
+        host.bind_udp_batch(port, self._on_batch_packet)
 
     def close(self) -> None:
         self.host.unbind_udp(self.port)
@@ -178,6 +237,30 @@ class UdpReceiver:
         self.highest_seq = max(self.highest_seq, seq)
         self.meter.observe(len(packet.payload), now)
         self.jitter.observe(send_time, now)
+
+    def _on_batch_packet(self, batch, i: int) -> None:
+        """:meth:`_on_packet` for one train packet, without decoding bytes.
+
+        ``batch.seqs``/``batch.ts_ns`` hold exactly what
+        :func:`_encode_payload` wrote (``seq & 0xFFFFFFFF``,
+        ``int(t * 1e9)``), so dedup keys, reorder counts, the throughput
+        meter and the RFC 3550 jitter estimator see identical inputs.
+        """
+        seq = batch.seqs[i]
+        if seq in self._seen:
+            self.duplicates += 1
+            return
+        self._seen.add(seq)
+        now = self.host.sim.now
+        size = batch.payload_size
+        if size > self.payload_size:
+            self.payload_size = size
+        if seq < self.highest_seq:
+            self.reordered += 1
+        else:
+            self.highest_seq = seq
+        self.meter.observe(size, now)
+        self.jitter.observe(batch.ts_ns[i] / 1e9, now)
 
     @property
     def received_unique(self) -> int:

@@ -1,0 +1,92 @@
+"""Train=1 vs train=32 equivalence: the batch tier's exactness contract.
+
+The packet-train tier must be an *invisible* optimisation: for the same
+seed, every observable of a run — flow results, combiner verdicts,
+quarantine transitions, alarms, figure records, RunReport metrics — is
+bit-identical whether packets move one per event or 32 per train.  These
+tests drive that contract across 24 seeds on fig5-style combiner runs
+**with live chaos schedules** (a router crash and a Gilbert–Elliott loss
+burst mid-run), where the exactness boundaries (vote splits, fault
+windows, per-packet loss draws) are all exercised at once.
+"""
+
+import pytest
+
+from repro.analysis.tasks import chaos_run
+from repro.chaos import FaultSchedule, LossBurst, RouterCrash
+
+SEEDS = list(range(24))
+
+#: crash branch 0's router mid-flow (it restarts), and turn branch 1's
+#: egress link bursty-lossy across the middle of the run — both fault
+#: windows overlap live traffic
+CHAOS_SCHEDULE = FaultSchedule(
+    [
+        RouterCrash(0.010, "r0", restart_at=0.025),
+        LossBurst(
+            0.012,
+            "link_b1",
+            until=0.032,
+            p_good_to_bad=0.2,
+            p_bad_to_good=0.3,
+            loss_bad=0.7,
+        ),
+    ],
+    name="batch-equivalence",
+).to_dict()
+
+
+def _run(seed: int, variant: str, train: int) -> dict:
+    return chaos_run(
+        CHAOS_SCHEDULE,
+        seed=seed,
+        variant=variant,
+        duration=0.04,
+        rate_mbps=40.0,
+        params={"batch_train": train} if train > 1 else None,
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_chaos_run_identical_across_train(seed):
+    variant = "central3" if seed % 2 == 0 else "central5"
+    legacy = _run(seed, variant, train=1)
+    batched = _run(seed, variant, train=32)
+    # the full survivability record: flow accounting, injected fault
+    # timeline, quarantine/readmit verdicts, alarms, compare stats
+    assert batched == legacy
+
+
+def _strip_internal(metrics: dict) -> dict:
+    """Drop scheduler-internal accounting, keep every observable metric.
+
+    ``sim_*`` (event counts differ by construction: trains collapse
+    outer events into micro-events), ``trace_records_*`` (batch.merge /
+    batch.split records exist only in batched runs) and ``batch*`` (the
+    tier's own counters) are the *only* keys allowed to differ.
+    """
+    return {
+        key: value
+        for key, value in metrics.items()
+        if not key.startswith(("sim_", "trace_records_", "batch"))
+    }
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_run_report_identical_across_train(seed):
+    from repro.obs.summary import build_run_report
+
+    report1, _ = build_run_report(
+        quick=True, seed=seed, sample_rate=0.25, train=1
+    )
+    report32, _ = build_run_report(
+        quick=True, seed=seed, sample_rate=0.25, train=32
+    )
+    assert report32.records == report1.records
+    assert report32.spans == report1.spans
+    assert _strip_internal(report32.metrics) == _strip_internal(report1.metrics)
+    # and the batched run really used the batch tier
+    batched = [
+        v for k, v in report32.metrics.items() if k.startswith("batches_total")
+    ]
+    assert batched and sum(batched) > 0
