@@ -25,6 +25,7 @@ Parallel runs merge by spec key, so ``--jobs 4`` output is identical to
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
 from typing import Callable, Dict, Optional
@@ -245,11 +246,17 @@ def main(argv=None) -> int:
         from repro.plan.cli import plan_main
 
         return plan_main(argv[1:])
+    if argv and argv[0] == "fleet":
+        # Fleet telemetry tools: watch/replay/profile.
+        from repro.obs.fleet_cli import fleet_main
+
+        return fleet_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the NetCo paper's tables and figures "
                     "(`python -m repro plan --help` for declarative plans, "
-                    "`python -m repro obs --help` for observability tools).",
+                    "`python -m repro obs --help` for observability tools, "
+                    "`python -m repro fleet --help` for live fleet telemetry).",
     )
     parser.add_argument(
         "experiment",
@@ -296,12 +303,40 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--report", default=None, metavar="PATH",
         help="write a RunReport JSON (experiment records + farm progress) "
-             "here after the run",
+             "here after the run; composes with --train N (records stay "
+             "bit-identical) and with `repro plan run --report` for "
+             "declarative plans, so reports diff cleanly across tiers",
     )
     parser.add_argument(
         "--train", type=int, default=1, metavar="N",
         help="packets per train for the data-plane batch tier (default 1: "
              "per-packet events; results are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--events-log", default=None, metavar="PATH",
+        help="append every farm event (queued/cached/started/done/retried/"
+             "failed + bounded per-run digests) to a JSONL log with gapless "
+             "sequence numbers; replay with `repro fleet replay PATH`",
+    )
+    parser.add_argument(
+        "--serve", type=int, default=None, metavar="PORT", nargs="?",
+        const=0,
+        help="serve a live dashboard on PORT (omit PORT for an ephemeral "
+             "one; the bound URL is printed to stderr): /metrics is "
+             "Prometheus text, /fleet a JSON snapshot; tail it with "
+             "`repro fleet watch --url URL`",
+    )
+    parser.add_argument(
+        "--serve-grace", type=float, default=0.0, metavar="SECONDS",
+        help="keep the dashboard serving this long after the run finishes "
+             "(lets scrapers catch the final state)",
+    )
+    parser.add_argument(
+        "--profile-shards", default=None, metavar="DIR", nargs="?",
+        const=".repro-profile",
+        help="run every farm task under cProfile, dumping per-shard stats "
+             "into DIR (default .repro-profile/) with an aggregated top-N "
+             "table on stderr; re-aggregate with `repro fleet profile DIR`",
     )
     args = parser.parse_args(argv)
     if args.train < 1:
@@ -315,31 +350,65 @@ def main(argv=None) -> int:
     names = sorted(COMMANDS) if args.experiment == "all" else [args.experiment]
     all_records = []
     farm_snapshots = {}
-    for name in names:
-        farm = FarmExecutor(
-            jobs=args.jobs,
-            cache=None if args.no_cache else ResultCache(root=args.cache_dir),
-            timeout=args.task_timeout,
+    telemetry = None
+    if args.events_log or args.serve is not None:
+        from repro.obs.wiring import FleetTelemetry
+
+        telemetry = FleetTelemetry(
+            events_log=args.events_log,
+            serve=args.serve,
+            serve_grace=args.serve_grace,
+            name=args.experiment,
         )
-        start = time.time()
-        try:
-            if args.profile:
-                records = _run_profiled(name, args.quick, farm)
-            else:
-                records = COMMANDS[name](args.quick, farm)
-        except FarmTaskError as exc:
-            print(f"error: {exc}", file=sys.stderr)
+    try:
+        for name in names:
+            registry_scope = (
+                telemetry.farm_registry() if telemetry is not None
+                else contextlib.nullcontext()
+            )
+            with registry_scope:
+                farm = FarmExecutor(
+                    jobs=args.jobs,
+                    cache=(
+                        None if args.no_cache
+                        else ResultCache(root=args.cache_dir)
+                    ),
+                    timeout=args.task_timeout,
+                    profile_dir=args.profile_shards,
+                )
+            if telemetry is not None:
+                telemetry.attach(farm, name=name)
+            start = time.time()
+            try:
+                if args.profile:
+                    records = _run_profiled(name, args.quick, farm)
+                else:
+                    records = COMMANDS[name](args.quick, farm)
+            except FarmTaskError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                if farm.progress.queued:
+                    print(render_farm_summary(farm.progress, cache=farm.cache),
+                          file=sys.stderr)
+                return 1
             if farm.progress.queued:
-                print(render_farm_summary(farm.progress, cache=farm.cache),
-                      file=sys.stderr)
-            return 1
-        if farm.progress.queued:
-            print(render_farm_summary(farm.progress, cache=farm.cache))
-        print(f"[{name} finished in {time.time() - start:.1f}s]\n")
-        for record in records or ():
-            all_records.append({"experiment": name, **record})
-        if farm.progress.queued:
-            farm_snapshots[name] = farm.progress.snapshot()
+                print(render_farm_summary(farm.progress, cache=farm.cache))
+            print(f"[{name} finished in {time.time() - start:.1f}s]\n")
+            for record in records or ():
+                all_records.append({"experiment": name, **record})
+            if farm.progress.queued:
+                farm_snapshots[name] = farm.progress.snapshot()
+        if args.profile_shards is not None:
+            from repro.farm.profiling import aggregate_profiles
+
+            aggregated = aggregate_profiles(args.profile_shards)
+            if aggregated is not None:
+                count, table = aggregated
+                print(f"--- shard profiles: {count} dump(s) in "
+                      f"{args.profile_shards} ---", file=sys.stderr)
+                print(table, file=sys.stderr)
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     if args.report:
         from repro.obs.report import RunReport
 

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, fields
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Type
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Type
 
 from repro.adversary import (
     BenignBehavior,
@@ -597,9 +597,19 @@ class ChaosEngine:
         now = self.network.sim.now
         entry = {"time": now, "kind": event.KIND, "target": event.target}
         self.injections.append(entry)
+        # the trace record (not the result-dict entry, which stays
+        # bit-stable) also carries the fault window, so trajectory
+        # queries can correlate packets with overlapping fault spans
+        trace_data: Dict[str, Any] = {"target": event.target}
+        until = getattr(event, "until", None)
+        if until is not None:
+            trace_data["until"] = until
+        restart_at = getattr(event, "restart_at", None)
+        if restart_at is not None:
+            trace_data["restart_at"] = restart_at
         self.network.trace.emit(
             now, f"chaos.{event.KIND}", f"chaos.{self.schedule.name}",
-            target=event.target,
+            **trace_data,
         )
         if self._c_faults is not None:
             self._c_faults.labels(event.KIND).inc()

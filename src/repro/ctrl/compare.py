@@ -162,6 +162,11 @@ class ControlCompare(QuorumMembershipMixin):
         # vote keys a compromised replica emitted (simulation-side truth,
         # used only to score the malicious_released acceptance metric)
         self._tainted: Set[Tuple[int, bytes]] = set()
+        # vote key -> trace id of the data-plane packet that caused the
+        # decision (first submission wins); telemetry only — lets
+        # `repro obs trace` stitch control-plane spans onto a packet's
+        # data-plane trajectory
+        self._entry_trace: Dict[Tuple[int, bytes], int] = {}
         self._init_membership()
         self._sweeper = PeriodicTask(sim, config.vote_timeout, self._sweep)
         registry = active_registry()
@@ -204,12 +209,16 @@ class ControlCompare(QuorumMembershipMixin):
         datapath_id: int,
         message: object,
         tainted: bool = False,
+        trace: Optional[int] = None,
     ) -> None:
         """Accept one outbound control message from ``replica``.
 
         ``tainted`` marks copies a compromise hook modified; it never
         influences voting (the voter cannot know), only the
         ``malicious_released`` accounting the acceptance tests read.
+        ``trace`` carries the trace id of the data-plane packet whose
+        PacketIn caused this message (when that packet is marked); it is
+        attached to the decision's span records and never affects voting.
         """
         now = self.sim.now
         self.stats.submissions += 1
@@ -220,6 +229,8 @@ class ControlCompare(QuorumMembershipMixin):
         key: Tuple[int, bytes] = (datapath_id, digest(message))
         if tainted:
             self._tainted.add(key)
+        if trace is not None:
+            self._entry_trace.setdefault(key, trace)
         quarantined = replica in self._quarantined
         outcome = self.book.observe(
             key, replica, now, message, countable=not quarantined
@@ -236,8 +247,7 @@ class ControlCompare(QuorumMembershipMixin):
                 self._miss_counts[replica] = 0
             if self._unavailable.get(replica):
                 self._unavailable[replica] = False
-        self._trace(
-            "ctrl.vote",
+        vote_data = dict(
             branch=replica,
             dpid=datapath_id,
             votes=outcome.entry.distinct_branches,
@@ -246,6 +256,10 @@ class ControlCompare(QuorumMembershipMixin):
             late=outcome.late_copy,
             probation=quarantined,
         )
+        known_trace = self._entry_trace.get(key)
+        if known_trace is not None:
+            vote_data["trace"] = known_trace
+        self._trace("ctrl.vote", **vote_data)
         if quarantined:
             self.stats.quarantined_copies += 1
             if outcome.entry.released and not outcome.is_branch_duplicate:
@@ -270,13 +284,16 @@ class ControlCompare(QuorumMembershipMixin):
             self._trace("ctrl.malicious_release", dpid=key[0])
         if self._h_vote_latency is not None:
             self._h_vote_latency.observe(now - entry.first_seen)
-        self._trace(
-            "ctrl.release",
+        release_data = dict(
             dpid=key[0],
             votes=entry.distinct_branches,
             kind=type(entry.packet).__name__,
             latency=now - entry.first_seen,
         )
+        release_trace = self._entry_trace.get(key)
+        if release_trace is not None:
+            release_data["trace"] = release_trace
+        self._trace("ctrl.release", **release_data)
         release = self._releases.get(key[0])
         if release is not None:
             release(entry.packet)
@@ -295,6 +312,7 @@ class ControlCompare(QuorumMembershipMixin):
     def _finalise(self, entry: VoteEntry) -> None:
         """Account for a decision leaving the book (expiry/eviction)."""
         self._tainted.discard(entry.key)
+        entry_trace = self._entry_trace.pop(entry.key, None)
         if entry.released:
             self.stats.expired_released += 1
             for missing in entry.missing_branches(self.branch_ids):
@@ -315,13 +333,15 @@ class ControlCompare(QuorumMembershipMixin):
             reason = "quarantined"
         if self._c_blocked is not None:
             self._c_blocked.labels(self.name, reason).inc()
-        self._trace(
-            "ctrl.blocked",
+        blocked_data = dict(
             dpid=entry.key[0],
             reason=reason,
             votes=entry.distinct_branches,
             kind=type(entry.packet).__name__,
         )
+        if entry_trace is not None:
+            blocked_data["trace"] = entry_trace
+        self._trace("ctrl.blocked", **blocked_data)
         for waiting in list(entry.probation_counts):
             # Probation bytes no active majority confirmed: start over.
             self._reset_probation(waiting)

@@ -195,6 +195,10 @@ class ReplicatedControlPlane(Controller):
             alarm_sink=alarm_sink,
             trace_bus=trace_bus,
         )
+        # trace id of the marked data-plane packet whose PacketIn is
+        # being fanned out right now (replicas answer synchronously, so
+        # setting it around the fan-out loop attributes their votes)
+        self._cause_trace: Optional[int] = None
 
     # ------------------------------------------------------------------
     # wiring
@@ -223,19 +227,24 @@ class ReplicatedControlPlane(Controller):
         if isinstance(
             message, (PacketIn, FlowRemoved, PortStatsReply, FlowStatsReply)
         ):
-            for handle in self.replicas:
-                if handle.crashed:
-                    continue
-                if isinstance(message, PacketIn):
-                    # Each replica gets its own packet clone: a replica
-                    # that scribbles on headers must not poison the
-                    # others' view of the event.
-                    fanned: object = dataclasses.replace(
-                        message, packet=message.packet.copy()
-                    )
-                else:
-                    fanned = message
-                handle.controller._dispatch(switch, fanned)
+            if isinstance(message, PacketIn):
+                self._cause_trace = getattr(message.packet, "trace_id", None)
+            try:
+                for handle in self.replicas:
+                    if handle.crashed:
+                        continue
+                    if isinstance(message, PacketIn):
+                        # Each replica gets its own packet clone: a replica
+                        # that scribbles on headers must not poison the
+                        # others' view of the event.
+                        fanned: object = dataclasses.replace(
+                            message, packet=message.packet.copy()
+                        )
+                    else:
+                        fanned = message
+                    handle.controller._dispatch(switch, fanned)
+            finally:
+                self._cause_trace = None
             return
         super()._dispatch(switch, message)
 
@@ -266,8 +275,14 @@ class ReplicatedControlPlane(Controller):
             # bytes to a plain Controller.send().
             self._deliver(switch, message)
             return
+        # A PacketOut carries its packet's own trace id; FlowMods fall
+        # back to the PacketIn being fanned out right now (if marked).
+        trace = getattr(getattr(message, "packet", None), "trace_id", None)
+        if trace is None:
+            trace = self._cause_trace
         self.compare.submit(
-            handle.index, switch.datapath_id, message, tainted=tainted
+            handle.index, switch.datapath_id, message,
+            tainted=tainted, trace=trace,
         )
 
     # ------------------------------------------------------------------

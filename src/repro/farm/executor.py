@@ -32,6 +32,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.farm.cache import ResultCache
 from repro.farm.progress import FarmProgress
 from repro.farm.spec import RunSpec
+from repro.obs.events import run_digest
+from repro.obs.metrics import bind_counter
 
 
 class TaskTimeout(Exception):
@@ -55,12 +57,20 @@ def _alarm_handler(signum, frame):  # pragma: no cover - fires asynchronously
     raise TaskTimeout("per-task timeout expired")
 
 
-def _execute_spec(spec: RunSpec, timeout: Optional[float]) -> Tuple[Any, float]:
+def _execute_spec(
+    spec: RunSpec,
+    timeout: Optional[float],
+    profile_dir: Optional[str] = None,
+    attempt: int = 1,
+) -> Tuple[Any, float]:
     """Run one spec (in whichever process), returning (value, wall_s).
 
     The timeout is enforced with ``setitimer``/SIGALRM where available
     (worker processes run tasks in their main thread, so this is safe);
-    platforms without SIGALRM simply run without enforcement.
+    platforms without SIGALRM simply run without enforcement.  With
+    ``profile_dir`` set the task runs under cProfile and dumps its stats
+    into that directory (``--profile-shards``); the profiler tax lands in
+    wall time only — the task's result value is untouched.
     """
     use_alarm = timeout is not None and hasattr(signal, "SIGALRM")
     if use_alarm:
@@ -68,7 +78,12 @@ def _execute_spec(spec: RunSpec, timeout: Optional[float]) -> Tuple[Any, float]:
         signal.setitimer(signal.ITIMER_REAL, timeout)
     start = time.perf_counter()
     try:
-        value = spec.execute()
+        if profile_dir is not None:
+            from repro.farm.profiling import run_profiled
+
+            value = run_profiled(spec.execute, spec, attempt, profile_dir)
+        else:
+            value = spec.execute()
     finally:
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
@@ -88,12 +103,15 @@ class FarmExecutor:
         timeout: Optional[float] = None,
         retries: int = 2,
         progress: Optional[FarmProgress] = None,
+        profile_dir: Optional[str] = None,
     ) -> None:
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.timeout = timeout
         self.retries = max(0, int(retries))
         self.progress = progress if progress is not None else FarmProgress()
+        self.profile_dir = profile_dir
+        self._retries_counter = bind_counter("farm_task_retries_total")
 
     def run(self, specs: Sequence[RunSpec]) -> Dict[str, Any]:
         """Execute every spec; return ``{spec.key: value}``."""
@@ -109,6 +127,7 @@ class FarmExecutor:
                     results[spec.key] = value
                     self.progress.task_cached(spec)
                     continue
+                self.progress.cache_miss(spec)
             pending.append(spec)
         if pending:
             if self.jobs == 1:
@@ -125,7 +144,9 @@ class FarmExecutor:
         for spec in specs:
             self.progress.task_started(spec, attempt=1)
             try:
-                value, wall = _execute_spec(spec, self.timeout)
+                value, wall = _execute_spec(
+                    spec, self.timeout, self.profile_dir, attempt=1
+                )
             except TaskTimeout:
                 self.progress.task_failed(spec, "timeout")
                 raise FarmTaskError(
@@ -150,7 +171,15 @@ class FarmExecutor:
                 for spec in pending:
                     attempts[spec.key] += 1
                     self.progress.task_started(spec, attempt=attempts[spec.key])
-                    futures[pool.submit(_execute_spec, spec, self.timeout)] = spec
+                    futures[
+                        pool.submit(
+                            _execute_spec,
+                            spec,
+                            self.timeout,
+                            self.profile_dir,
+                            attempts[spec.key],
+                        )
+                    ] = spec
                 for future in as_completed(futures):
                     spec = futures[future]
                     try:
@@ -163,6 +192,8 @@ class FarmExecutor:
                         )
                         if attempts[spec.key] <= self.retries:
                             self.progress.task_retried(spec, reason)
+                            if self._retries_counter is not None:
+                                self._retries_counter.inc()
                             retry.append(spec)
                         else:
                             self.progress.task_failed(spec, reason)
@@ -192,3 +223,6 @@ class FarmExecutor:
         if self.cache is not None:
             self.cache.put(spec, value)
         self.progress.task_done(spec, wall)
+        digest = run_digest(value)
+        if digest:
+            self.progress.task_digest(spec, digest)

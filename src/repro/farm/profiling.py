@@ -1,0 +1,90 @@
+"""Per-shard cProfile capture for farm tasks.
+
+``--profile-shards DIR`` makes every task execution run under
+:class:`cProfile.Profile` *inside its own worker process* and dump the
+raw stats file into ``DIR`` — one file per (spec, attempt), named after
+the spec's content hash so reruns overwrite rather than accumulate.
+After the farm drains, :func:`aggregate_profiles` folds every dump into
+one :class:`pstats.Stats` and renders a top-N cumulative table for the
+fleet summary.
+
+Profiling is strictly observational: it changes task *wall time* (the
+profiler tax) but the task's RNG streams, simulated clock and result
+value are untouched, so result dicts and spec hashes stay bit-identical
+with profiling on or off.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import os
+import pstats
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.farm.spec import RunSpec
+
+__all__ = ["profile_path", "run_profiled", "aggregate_profiles"]
+
+#: filename suffix for raw cProfile dumps
+PROFILE_SUFFIX = ".pstats"
+
+
+def profile_path(profile_dir: Union[str, Path], spec: RunSpec, attempt: int = 1) -> Path:
+    """Stats-file path for one task execution.
+
+    Keyed by content hash + attempt: retried tasks keep each attempt's
+    profile, while a re-run of the same spec overwrites deterministically.
+    """
+    name = f"{spec.runner.replace('/', '_')}-{spec.short_key}-a{attempt}{PROFILE_SUFFIX}"
+    return Path(profile_dir) / name
+
+
+def run_profiled(fn, spec: RunSpec, attempt: int, profile_dir: Union[str, Path]):
+    """Run ``fn()`` under cProfile, dumping stats for this spec/attempt."""
+    path = profile_path(profile_dir, spec, attempt)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    profiler = cProfile.Profile()
+    try:
+        return profiler.runcall(fn)
+    finally:
+        profiler.dump_stats(os.fspath(path))
+
+
+def collect_profiles(profile_dir: Union[str, Path]) -> List[Path]:
+    """All raw stats dumps under ``profile_dir``, sorted by name."""
+    root = Path(profile_dir)
+    if not root.is_dir():
+        return []
+    return sorted(root.glob(f"*{PROFILE_SUFFIX}"))
+
+
+def aggregate_profiles(
+    profile_dir: Union[str, Path],
+    top: int = 15,
+) -> Optional[Tuple[int, str]]:
+    """Fold every shard profile into one top-N cumulative table.
+
+    Returns ``(dump_count, table_text)`` or ``None`` if the directory
+    holds no profiles.  Unreadable dumps (e.g. a worker killed mid-write)
+    are skipped rather than failing the summary.
+    """
+    paths = collect_profiles(profile_dir)
+    stats: Optional[pstats.Stats] = None
+    loaded = 0
+    for path in paths:
+        try:
+            if stats is None:
+                stats = pstats.Stats(os.fspath(path))
+            else:
+                stats.add(os.fspath(path))
+        except Exception:
+            continue
+        loaded += 1
+    if stats is None or loaded == 0:
+        return None
+    buffer = io.StringIO()
+    stats.stream = buffer  # type: ignore[attr-defined]
+    stats.sort_stats("cumulative").print_stats(top)
+    return loaded, buffer.getvalue().rstrip()

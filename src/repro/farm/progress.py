@@ -52,6 +52,14 @@ class FarmProgress:
         self.done += 1
         self._emit("farm.task.cached", spec)
 
+    def cache_miss(self, spec: RunSpec) -> None:
+        """A queued spec was not in the result cache (it will execute)."""
+        self._emit("farm.cache.miss", spec)
+
+    def task_digest(self, spec: RunSpec, digest: Dict[str, Any]) -> None:
+        """Bounded per-run telemetry digest (alarms, quarantines, votes)."""
+        self._emit("farm.task.digest", spec, **digest)
+
     def task_started(self, spec: RunSpec, attempt: int) -> None:
         self.running += 1
         self._emit("farm.task.started", spec, attempt=attempt)

@@ -3,13 +3,20 @@
     python -m repro obs summary [--quick] [--report out.json]
     python -m repro obs dump --scenario central3 -o trace.jsonl
     python -m repro obs diff baseline.json current.json
+    python -m repro obs trace 3 --ctrl
 
 ``summary`` runs the instrumented Figure 5 workload and prints per-link
 and per-compare metrics (optionally saving the RunReport JSON and a
 Prometheus text snapshot).  ``dump`` writes the retained trace records
 of one instrumented scenario as JSON lines.  ``diff`` compares two run
 reports under regression watch rules and exits non-zero when a watched
-counter breaches its threshold — this is the CI gate.
+counter breaches its threshold — this is the CI gate.  ``trace``
+reconstructs one marked packet's cross-layer story (data-plane hops,
+compare votes, control-plane voting, overlapping fault windows).
+
+Exit codes (all subcommands): 0 success; 1 a watched counter breached
+(``diff``) or the requested trace id does not exist (``trace``); 2
+usage error (argparse).
 """
 
 from __future__ import annotations
@@ -80,15 +87,79 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     watches = _load_watches(args.watch) if args.watch else DEFAULT_WATCHES
     findings = diff_reports(base, new, watches)
     breached = [f for f in findings if f.breached]
-    shown = findings if args.verbose else breached
-    for finding in shown:
-        print(finding.describe())
+    if not args.quiet:
+        shown = findings if args.verbose else breached
+        for finding in shown:
+            print(finding.describe())
+    # The one-line verdict (and the exit code) survives --quiet: callers
+    # must be able to gate on status alone instead of grepping output.
     print(
         f"compared {len(findings)} watched samples "
         f"({base.name!r} -> {new.name!r}): "
         + (f"{len(breached)} BREACHED" if breached else "all within thresholds")
     )
     return 1 if breached else 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.spans import cross_layer_story
+    from repro.obs.summary import (
+        run_instrumented_ctrl_scenario,
+        run_instrumented_scenario,
+    )
+
+    if args.ctrl:
+        run = run_instrumented_ctrl_scenario(
+            variant=args.scenario,
+            ctrl_k=args.ctrl_k,
+            adversary=args.adversary,
+            duration=args.duration or 0.005,
+            seed=args.seed,
+            sample_rate=args.sample,
+        )
+    else:
+        run = run_instrumented_scenario(
+            args.scenario,
+            duration=args.duration or 0.002,
+            seed=args.seed,
+            sample_rate=args.sample,
+        )
+        if args.chaos:
+            print("note: --chaos requires --ctrl or a chaos-armed run; "
+                  "ignored for the plain scenario", file=sys.stderr)
+    tracer = run.tracer
+    ids = tracer.trace_ids()
+    if args.list or args.trace_id is None:
+        stats = tracer.stats()
+        print(f"marked {stats['marked']} packet(s), "
+              f"{stats['traces']} trajectories indexed")
+        preview = ", ".join(str(i) for i in ids[:20])
+        more = f" … ({len(ids)} total)" if len(ids) > 20 else ""
+        print(f"trace ids: {preview}{more}")
+        return 0
+    if args.trace_id not in tracer.trajectories():
+        preview = ", ".join(str(i) for i in ids[:20])
+        print(f"error: no trajectory for trace id {args.trace_id} "
+              f"(available: {preview})", file=sys.stderr)
+        return 1
+    chaos_records = run.testbed.network.trace.select(topic="chaos.*")
+    story = cross_layer_story(
+        tracer.trajectory(args.trace_id), chaos_records=chaos_records
+    )
+    layers = sorted({entry["layer"] for entry in story})
+    print(f"trace {args.trace_id}: {len(story)} event(s) across "
+          f"layers [{', '.join(layers)}]")
+    for entry in story:
+        data = entry["data"]
+        detail = " ".join(
+            f"{k}={v}" for k, v in data.items() if k not in ("packet",)
+        )
+        packet = data.get("packet")
+        if packet:
+            detail = f"{detail} packet={packet}" if detail else f"packet={packet}"
+        print(f"  {entry['time'] * 1e6:10.2f}us  [{entry['layer']:>7}] "
+              f"{entry['topic']:<24} {entry['source']:<16} {detail}")
+    return 0
 
 
 def obs_main(argv: Optional[List[str]] = None) -> int:
@@ -127,14 +198,56 @@ def obs_main(argv: Optional[List[str]] = None) -> int:
                         help="output file (default stdout)")
     p_dump.set_defaults(func=_cmd_dump)
 
-    p_diff = sub.add_parser("diff", help="compare two run reports")
+    p_diff = sub.add_parser(
+        "diff", help="compare two run reports",
+        description="Compare two RunReports under regression watch rules.",
+        epilog="exit codes: 0 all watched samples within thresholds; "
+               "1 at least one watched counter BREACHED (the one-line "
+               "summary and the exit code survive --quiet, so scripts "
+               "can gate on status instead of grepping); 2 usage error",
+    )
     p_diff.add_argument("base", help="baseline RunReport JSON")
     p_diff.add_argument("new", help="candidate RunReport JSON")
     p_diff.add_argument("--watch", metavar="PATH",
                         help="JSON list of watch rules (default: built-in set)")
     p_diff.add_argument("-v", "--verbose", action="store_true",
                         help="print non-breached findings too")
+    p_diff.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress per-finding lines; keep the one-line "
+                             "summary and the exit code")
     p_diff.set_defaults(func=_cmd_diff)
+
+    p_trace = sub.add_parser(
+        "trace", help="reconstruct one packet's cross-layer story",
+        description="Run an instrumented scenario and print one marked "
+                    "packet's full story: data-plane hops, compare votes, "
+                    "control-plane voting (with --ctrl) and overlapping "
+                    "fault windows.",
+        epilog="exit codes: 0 story printed (or id listing); 1 no "
+               "trajectory for the requested id; 2 usage error",
+    )
+    p_trace.add_argument("trace_id", nargs="?", type=int, default=None,
+                         help="trace id to reconstruct (omit to list ids)")
+    p_trace.add_argument("--scenario", default="central3",
+                         help="testbed variant (default central3)")
+    p_trace.add_argument("--ctrl", action="store_true",
+                         help="run under a replicated control plane so the "
+                              "story includes ctrl.vote/ctrl.release spans")
+    p_trace.add_argument("--ctrl-k", type=int, default=3,
+                         help="controller replicas for --ctrl (default 3)")
+    p_trace.add_argument("--adversary", default="none",
+                         choices=("none", "crash", "lying"),
+                         help="chaos adversary for --ctrl (default none)")
+    p_trace.add_argument("--chaos", default=None, metavar="NAME",
+                         help="reserved: named fault schedule (with --ctrl, "
+                              "the adversary axis already arms one)")
+    p_trace.add_argument("--seed", type=int, default=1)
+    p_trace.add_argument("--sample", type=float, default=1.0)
+    p_trace.add_argument("--duration", type=float, default=None,
+                         metavar="SECONDS")
+    p_trace.add_argument("--list", action="store_true",
+                         help="list available trace ids and exit")
+    p_trace.set_defaults(func=_cmd_trace)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -37,6 +37,8 @@ __all__ = [
     "active_registry",
     "set_active_registry",
     "use_registry",
+    "bind_counter",
+    "FARM_COUNTERS",
     "DEFAULT_LATENCY_BUCKETS",
 ]
 
@@ -354,6 +356,31 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         self._families.clear()
+
+
+#: the farm counter trio: bound by :class:`~repro.farm.cache.ResultCache`
+#: and :class:`~repro.farm.executor.FarmExecutor` at construction, so the
+#: Prometheus text and the ``/fleet`` snapshot agree with
+#: ``render_farm_summary`` (same underlying counts, same moment).
+FARM_COUNTERS: Dict[str, str] = {
+    "cache_hits_total": "farm result-cache hits",
+    "cache_misses_total": "farm result-cache misses (corrupt entries count as misses)",
+    "farm_task_retries_total": "farm task retry attempts (worker crash / timeout reruns)",
+}
+
+
+def bind_counter(name: str, help: str = "") -> Optional[Any]:
+    """Bind-at-construction helper for hot-path counters.
+
+    Returns a counter from the *active* registry, or ``None`` when
+    metrics are disabled — callers keep the result and test
+    ``is not None`` before ``inc()``, skipping even the null-instrument
+    call (the established ≈1–3% disabled-overhead pattern).
+    """
+    registry = active_registry()
+    if not registry.enabled:
+        return None
+    return registry.counter(name, help or FARM_COUNTERS.get(name, ""))
 
 
 # ----------------------------------------------------------------------

@@ -31,7 +31,10 @@ from typing import Any, Dict, List, Optional
 
 from repro.sim.trace import TraceBus, TraceRecord
 
-#: topic prefixes that can carry span-relevant records
+#: topic prefixes that can carry span-relevant records; ``ctrl.*``
+#: stitches control-plane voting onto a packet's trajectory (the voter
+#: stamps ``trace=`` on vote/release/blocked records when the causing
+#: packet was marked)
 SPAN_TOPIC_PATTERNS = (
     "span.*",
     "link.*",
@@ -41,6 +44,7 @@ SPAN_TOPIC_PATTERNS = (
     "compare.*",
     "port.*",
     "host.*",
+    "ctrl.*",
 )
 
 
@@ -183,3 +187,77 @@ class PacketTracer:
         self.sampled_out = 0
         self.events = 0
         self.overflow_events = 0
+
+
+# ----------------------------------------------------------------------
+# cross-layer correlation
+# ----------------------------------------------------------------------
+#: how a span topic maps to a story layer
+_LAYER_PREFIXES = (
+    ("ctrl.", "control"),
+    ("compare.", "voter"),
+    ("chaos.", "fault"),
+)
+
+
+def _layer_of(topic: str) -> str:
+    for prefix, layer in _LAYER_PREFIXES:
+        if topic.startswith(prefix):
+            return layer
+    return "data"
+
+
+def cross_layer_story(
+    spans: List[TraceRecord],
+    chaos_records: Optional[List[TraceRecord]] = None,
+    window_slack: float = 0.0,
+) -> List[Dict[str, Any]]:
+    """One packet's full story across data plane, voter and fault windows.
+
+    ``spans`` is a trajectory from :meth:`PacketTracer.trajectory` —
+    which, with the ``ctrl.*`` pattern subscribed, already interleaves
+    data-plane hops, compare votes and control-plane voting.  Chaos
+    records (topic ``chaos.*``) carry no trace id — faults hit targets,
+    not packets — so they are correlated *by time*: any fault whose
+    window (``[time, until/restart_at]``, falling back to its instant)
+    overlaps the packet's lifetime is woven into the story as a
+    ``fault`` layer entry.  Returns time-ordered dicts with ``time``,
+    ``layer`` (data / voter / control / fault), ``topic``, ``source``
+    and the record's own data (packet objects reduced to their summary).
+    """
+    story: List[Dict[str, Any]] = []
+    for record in spans:
+        data = {}
+        for key, value in record.data.items():
+            if key == "packet":
+                summary = getattr(value, "summary", None)
+                data[key] = summary() if callable(summary) else repr(value)
+            else:
+                data[key] = value
+        story.append({
+            "time": record.time,
+            "layer": _layer_of(record.topic),
+            "topic": record.topic,
+            "source": record.source,
+            "data": data,
+        })
+    if chaos_records and spans:
+        t_lo = min(r.time for r in spans) - window_slack
+        t_hi = max(r.time for r in spans) + window_slack
+        for record in chaos_records:
+            if not record.topic.startswith("chaos."):
+                continue
+            start = record.time
+            end = record.data.get("until") or record.data.get("restart_at")
+            end = float(end) if end is not None else start
+            if end < t_lo or start > t_hi:
+                continue
+            story.append({
+                "time": record.time,
+                "layer": "fault",
+                "topic": record.topic,
+                "source": record.source,
+                "data": dict(record.data),
+            })
+    story.sort(key=lambda entry: entry["time"])
+    return story

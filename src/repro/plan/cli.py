@@ -15,6 +15,7 @@ CI exploits with a plain ``diff``.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
 from typing import List, Optional
@@ -105,11 +106,29 @@ def _cmd_run(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    farm = FarmExecutor(
-        jobs=args.jobs,
-        cache=None if args.no_cache else ResultCache(root=args.cache_dir),
-        timeout=args.task_timeout,
+    telemetry = None
+    if args.events_log or args.serve is not None:
+        from repro.obs.wiring import FleetTelemetry
+
+        telemetry = FleetTelemetry(
+            events_log=args.events_log,
+            serve=args.serve,
+            serve_grace=args.serve_grace,
+            name=plan.name,
+        )
+    registry_scope = (
+        telemetry.farm_registry() if telemetry is not None
+        else contextlib.nullcontext()
     )
+    with registry_scope:
+        farm = FarmExecutor(
+            jobs=args.jobs,
+            cache=None if args.no_cache else ResultCache(root=args.cache_dir),
+            timeout=args.task_timeout,
+            profile_dir=args.profile_shards,
+        )
+    if telemetry is not None:
+        telemetry.attach(farm, name=plan.name)
     try:
         results = farm.run(plan.expand())
     except FarmTaskError as exc:
@@ -118,6 +137,18 @@ def _cmd_run(args) -> int:
             print(render_farm_summary(farm.progress, cache=farm.cache),
                   file=sys.stderr)
         return 1
+    finally:
+        if args.profile_shards is not None:
+            from repro.farm.profiling import aggregate_profiles
+
+            aggregated = aggregate_profiles(args.profile_shards)
+            if aggregated is not None:
+                count, table = aggregated
+                print(f"--- shard profiles: {count} dump(s) in "
+                      f"{args.profile_shards} ---", file=sys.stderr)
+                print(table, file=sys.stderr)
+        if telemetry is not None:
+            telemetry.close()
     staged = plan.merge_stages(results)
     combined = plan.merge(results)
     print(_render_output(plan, staged, combined))
@@ -186,6 +217,24 @@ def plan_main(argv: Optional[List[str]] = None) -> int:
     p_run.add_argument("--report", default=None, metavar="PATH",
                        help="write a RunReport JSON here; diffed against "
                             "the plan's baseline when one is declared")
+    p_run.add_argument("--events-log", default=None, metavar="PATH",
+                       help="append every farm event to a JSONL log with "
+                            "gapless sequence numbers (replay with "
+                            "`repro fleet replay PATH`)")
+    p_run.add_argument("--serve", type=int, default=None, metavar="PORT",
+                       nargs="?", const=0,
+                       help="serve the live dashboard (/metrics /fleet "
+                            "/events) on PORT; omit PORT for an ephemeral "
+                            "one (URL printed to stderr)")
+    p_run.add_argument("--serve-grace", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="keep the dashboard up this long after the run "
+                            "finishes")
+    p_run.add_argument("--profile-shards", default=None, metavar="DIR",
+                       nargs="?", const=".repro-profile",
+                       help="cProfile every farm task into per-shard dumps "
+                            "under DIR (default .repro-profile/); aggregate "
+                            "with `repro fleet profile DIR`")
 
     args = parser.parse_args(argv)
     if args.command == "list":
