@@ -1,11 +1,16 @@
-"""Adversarial router behaviours (the Section II threat model).
+"""The adversarial-behaviour base class and selectors (Section II threat model).
 
 A compromised router "can behave arbitrarily, e.g., completely ignore the
 installed OpenFlow match-action rules".  We model this by attaching an
 :class:`AdversarialBehavior` to an :class:`~repro.openflow.switch.
 OpenFlowSwitch`; the behaviour runs *instead of* the normal match-action
-pipeline and may forward, reroute, mirror, rewrite, drop, replay or
-fabricate packets at will.
+pipeline.  This module holds only the base class, the selector factories
+and the trivial :class:`BenignBehavior` / :class:`CompositeBehavior` —
+the concrete attacks live in the sibling modules: ``dos`` (blackhole,
+replay and generator floods), ``mirror`` (eavesdropping), ``modify``
+(drop, header rewrite, payload corruption, packet fabrication),
+``reroute`` (port swaps and detours), and ``strategies`` (scheduled,
+stateful adversaries with their own rng streams).
 
 Behaviours that only want to tamper with *some* packets use a selector
 predicate and fall back to :meth:`AdversarialBehavior.forward_normally`,

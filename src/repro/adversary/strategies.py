@@ -1,0 +1,354 @@
+"""Scheduled, stateful adversary strategies (ROADMAP item 4).
+
+The static behaviours in the sibling modules (``dos`` / ``mirror`` /
+``modify`` / ``reroute``) misbehave from the moment they are attached.
+The strategies here model *intelligent* attackers drawn from the related
+work — SDNsec-style path inconsistency, trajectory-sampling-grade
+probabilistic corruption, probation-window evasion, vote-sweep timing,
+and colluding minorities — as :class:`ScheduledStrategy` behaviours that
+the chaos engine can activate mid-run (``adversary_strategy`` events).
+
+Each strategy draws from its own named rng stream, and the ones that key
+off the trusted element's internal cadence subscribe to the hooks the
+compare exposes for exactly this purpose:
+:meth:`~repro.core.compare.CompareCore.add_sweep_listener` (expiry-sweep
+ticks) and
+:meth:`~repro.core.membership.QuorumMembershipMixin.add_membership_listener`
+(quarantine / re-admission transitions).
+
+Every tampered packet is counted on the
+``adversary_packets_tampered_total{strategy}`` metric and total active
+time on ``adversary_active_seconds{strategy}``; both bind from the
+registry active at construction time and are ``None`` when metrics are
+disabled, so the hot path pays a single ``is not None`` test.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from repro.adversary.behaviors import AdversarialBehavior
+from repro.net.packet import Packet
+from repro.obs.metrics import active_registry
+from repro.openflow.switch import OpenFlowSwitch
+
+__all__ = [
+    "STRATEGIES",
+    "CollusionCorruption",
+    "PathInconsistency",
+    "ProbationEvader",
+    "SampledCorruption",
+    "ScheduledStrategy",
+    "SweepTimedCorruption",
+    "build_strategy",
+    "corrupt_payload",
+]
+
+
+def corrupt_payload(packet: Packet, offset: int = 0) -> Packet:
+    """The canonical wrong wire image: XOR 0xFF into one payload byte.
+
+    Deterministic in the input packet, so two colluding branches that
+    apply it independently emit *identical* corrupt copies without any
+    coordination channel — the worst case for a bit-exact voter.
+    """
+    mutated = packet.copy()
+    data = bytearray(mutated.payload)
+    data[offset % len(data)] ^= 0xFF
+    mutated.payload = bytes(data)
+    return mutated
+
+
+class ScheduledStrategy(AdversarialBehavior):
+    """Base class: a chaos-schedulable behaviour with a strategy callback.
+
+    Subclasses implement :meth:`decide`; when it returns True the packet
+    is tampered with (default: the canonical payload corruption), when
+    False the switch's genuine pipeline runs.  The chaos engine calls
+    :meth:`activate` when the ``adversary_strategy`` event fires and
+    :meth:`deactivate` when the campaign ends (``until`` / behavior_off),
+    which is where compare-hook subscriptions live and active time is
+    accounted.
+    """
+
+    #: registry name; also the ``strategy`` metric label
+    STRATEGY = ""
+    #: fail at arm() time when no compare core was handed to the engine
+    requires_compare = False
+    #: fail at arm() time when the target is not a recognisable branch
+    requires_branch = False
+
+    def __init__(
+        self,
+        sim,
+        rng,
+        compare=None,
+        branch: Optional[int] = None,
+        rate: float = 1.0,
+        pace: int = 1,
+        window: float = 0.0,
+        name: str = "",
+    ) -> None:
+        super().__init__(name or self.STRATEGY)
+        if self.requires_compare and compare is None:
+            raise ValueError(
+                f"{self.STRATEGY}: strategy needs the compare core's hooks; "
+                "hand compare_core= to the ChaosEngine"
+            )
+        if self.requires_branch and branch is None:
+            raise ValueError(
+                f"{self.STRATEGY}: strategy needs a branch index; target a "
+                "switch aliased or named r<i>"
+            )
+        self.sim = sim
+        self.rng = rng
+        self.compare = compare
+        self.branch = branch
+        self.rate = rate
+        self.pace = pace
+        self.window = window
+        #: sim time of the current activation, None while dormant
+        self.activated_at: Optional[float] = None
+        #: accumulated active sim time over completed activations
+        self.active_seconds = 0.0
+        registry = active_registry()
+        if registry.enabled:
+            self._c_tampered = registry.counter(
+                "adversary_packets_tampered_total",
+                "packets tampered by a scheduled adversary strategy",
+                labelnames=("strategy",),
+            ).labels(self.STRATEGY)
+            self._g_active = registry.gauge(
+                "adversary_active_seconds",
+                "sim time scheduled adversary strategies have been active",
+                labelnames=("strategy",),
+            ).labels(self.STRATEGY)
+        else:
+            self._c_tampered = None
+            self._g_active = None
+
+    # -- lifecycle (driven by the chaos engine) -------------------------
+    def activate(self) -> None:
+        if self.activated_at is None:
+            self.activated_at = self.sim.now
+
+    def deactivate(self) -> None:
+        if self.activated_at is None:
+            return
+        elapsed = self.sim.now - self.activated_at
+        self.activated_at = None
+        self.active_seconds += elapsed
+        if self._g_active is not None:
+            self._g_active.inc(elapsed)
+
+    # -- the hot path ---------------------------------------------------
+    def handle(self, switch: OpenFlowSwitch, packet: Packet, in_port_no: int) -> bool:
+        self.packets_seen += 1
+        if self.decide(packet, self.sim.now):
+            return self.tamper(switch, packet, in_port_no)
+        return self.forward_normally(switch, packet, in_port_no)
+
+    def decide(self, packet: Packet, now: float) -> bool:
+        """The strategy callback: lie about this packet?"""
+        raise NotImplementedError
+
+    def tamper(self, switch: OpenFlowSwitch, packet: Packet, in_port_no: int) -> bool:
+        """Forward a corrupted copy (subclasses may override the mutation)."""
+        if not packet.payload:
+            return self.forward_normally(switch, packet, in_port_no)
+        mutated = corrupt_payload(packet)
+        self.trace_tamper(switch, "corrupt", mutated)
+        self.forward_normally(switch, mutated, in_port_no)
+        return True
+
+    def trace_tamper(self, switch: OpenFlowSwitch, action: str, packet: Packet) -> None:
+        super().trace_tamper(switch, action, packet)
+        if self._c_tampered is not None:
+            self._c_tampered.inc()
+
+    def _sample(self) -> bool:
+        """One Bernoulli(rate) draw from this strategy's own stream."""
+        if self.rate >= 1.0:
+            return True
+        if self.rate <= 0.0:
+            return False
+        return self.rng.random() < self.rate
+
+
+class SampledCorruption(ScheduledStrategy):
+    """Probabilistically-sampled corruption at rate p.
+
+    The adversary class a trajectory-sampling monitor is built against
+    (Software-Defined Adversarial Trajectory Sampling): each packet is
+    independently corrupted with probability ``rate``, so at p = 0.001
+    the evidence trickles in far below any per-window threshold.
+    """
+
+    STRATEGY = "sampled_corruption"
+
+    def decide(self, packet: Packet, now: float) -> bool:
+        return self._sample()
+
+
+class CollusionCorruption(SampledCorruption):
+    """A colluding branch: emits the canonical corrupt image, always.
+
+    Schedule it on m branches and all m deliver byte-identical wrong
+    copies (see :func:`corrupt_payload`) — below quorum the voter must
+    still mask every one; at quorum the wrong image *wins* the vote,
+    which the advbench suite keeps as its negative control.
+    """
+
+    STRATEGY = "colluding_minority"
+
+
+class PathInconsistency(ScheduledStrategy):
+    """SDNsec-style path-inconsistency / reroute attack.
+
+    Every ``pace``-th packet is forwarded as if it had silently traversed
+    an extra hop: one extra TTL decrement, payload untouched.  A
+    forwarding-accountability scheme would catch the path digest
+    mismatch; here the bit-exact voter sees a divergent header and the
+    honest quorum outvotes it.  The rng stream only picks the phase, so
+    the wire images stay deterministic per seed.
+    """
+
+    STRATEGY = "path_inconsistency"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._count = 0
+        self._phase = int(self.rng.random() * self.pace) % self.pace if self.pace > 1 else 0
+
+    def decide(self, packet: Packet, now: float) -> bool:
+        selected = self._count % self.pace == self._phase
+        self._count += 1
+        return selected
+
+    def tamper(self, switch: OpenFlowSwitch, packet: Packet, in_port_no: int) -> bool:
+        mutated = packet.copy()
+        mutated.decrement_ttl()
+        self.trace_tamper(switch, "reroute", mutated)
+        self.forward_normally(switch, mutated, in_port_no)
+        return True
+
+
+class SweepTimedCorruption(ScheduledStrategy):
+    """Selective modification timed against the compare's vote sweeps.
+
+    Subscribes to the compare's expiry-sweep tick and only lies inside
+    the ``window`` right after a sweep fired — a freshly created
+    divergent entry then sits a full buffer timeout away from the sweep
+    that would expire it, so the single-source evidence surfaces as late
+    as the cadence allows.  ``window`` defaults to half the sweep period.
+    """
+
+    STRATEGY = "sweep_timed"
+    requires_compare = True
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if self.window <= 0.0:
+            self.window = 0.5 * float(self.compare.config.buffer_timeout)
+        self._last_sweep: Optional[float] = None
+
+    def activate(self) -> None:
+        super().activate()
+        self.compare.add_sweep_listener(self._on_sweep)
+
+    def deactivate(self) -> None:
+        super().deactivate()
+        self.compare.remove_sweep_listener(self._on_sweep)
+
+    def _on_sweep(self, now: float) -> None:
+        self._last_sweep = now
+
+    def decide(self, packet: Packet, now: float) -> bool:
+        if self._last_sweep is None or now - self._last_sweep > self.window:
+            return False
+        return self._sample()
+
+
+class ProbationEvader(ScheduledStrategy):
+    """Lie pacing that goes quiet inside the quarantine probation window.
+
+    Lies continuously until the compare quarantines its own branch, then
+    serves probation as a model citizen — clean copies are probation's
+    currency, so behaving earns re-admission at full speed — and resumes
+    lying the moment it is back in the vote.  ``pace`` > 1 additionally
+    paces the lies while active; ``rate`` < 1 subsamples them.
+    """
+
+    STRATEGY = "probation_evader"
+    requires_compare = True
+    requires_branch = True
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._lying = True
+        self._count = 0
+        #: quarantine -> quiet transitions (evasions served)
+        self.evasions = 0
+        #: re-admission -> lying-again transitions
+        self.resumptions = 0
+
+    def activate(self) -> None:
+        super().activate()
+        self.compare.add_membership_listener(self._on_membership)
+
+    def deactivate(self) -> None:
+        super().deactivate()
+        self.compare.remove_membership_listener(self._on_membership)
+
+    def _on_membership(self, event: str, branch: int, now: float) -> None:
+        if branch != self.branch:
+            return
+        if event == "quarantine" and self._lying:
+            self._lying = False
+            self.evasions += 1
+        elif event == "readmit" and not self._lying:
+            self._lying = True
+            self.resumptions += 1
+
+    def decide(self, packet: Packet, now: float) -> bool:
+        if not self._lying:
+            return False
+        self._count += 1
+        if self.pace > 1 and self._count % self.pace:
+            return False
+        return self._sample()
+
+
+#: strategy name -> class, for schedule validation and construction
+STRATEGIES: Dict[str, Type[ScheduledStrategy]] = {
+    cls.STRATEGY: cls
+    for cls in (
+        SampledCorruption,
+        CollusionCorruption,
+        PathInconsistency,
+        SweepTimedCorruption,
+        ProbationEvader,
+    )
+}
+
+
+def build_strategy(
+    strategy: str,
+    sim,
+    rng,
+    compare=None,
+    branch: Optional[int] = None,
+    rate: float = 1.0,
+    pace: int = 1,
+    window: float = 0.0,
+) -> ScheduledStrategy:
+    """Instantiate a registered strategy (raises on unknown names)."""
+    cls = STRATEGIES.get(strategy)
+    if cls is None:
+        raise ValueError(
+            f"unknown adversary strategy {strategy!r} (known: {sorted(STRATEGIES)})"
+        )
+    return cls(
+        sim=sim, rng=rng, compare=compare, branch=branch,
+        rate=rate, pace=pace, window=window,
+    )

@@ -148,6 +148,30 @@ def _cmd_ctrlbft(quick: bool, farm: Optional[FarmExecutor]) -> list:
     return records
 
 
+def _cmd_advbench(quick: bool, farm: Optional[FarmExecutor]) -> list:
+    rows = builtin_plan("advbench", quick=quick, **_train_overrides()).run(farm)
+    for r in rows:
+        alarm = (
+            f"{r['time_to_first_alarm']:.4f}"
+            if r["time_to_first_alarm"] is not None else "-"
+        )
+        detect = (
+            f"{r['detection_latency']:.4f}"
+            if r["detection_latency"] is not None else "-"
+        )
+        print(
+            f"advbench {r['variant']} k={r['k']} "
+            f"adversary={r['adversary']} profile={r['profile']}: "
+            f"detected={r['detected']}/{r['seeds']} "
+            f"t_alarm={alarm} t_quarantine={detect} "
+            f"tampered={r['tampered']} "
+            f"leaked={r['leaked_max']} "
+            f"masked_damage={r['masked_damage_max']} "
+            f"false_quarantine_rate={r['false_quarantine_rate_max']:.2f}"
+        )
+    return rows
+
+
 def _cmd_casestudy(quick: bool, farm: Optional[FarmExecutor]) -> list:
     from repro.analysis.report import format_table
     from repro.scenarios.datacenter import DatacenterCaseStudy
@@ -225,6 +249,7 @@ COMMANDS: Dict[str, Callable[[bool, Optional[FarmExecutor]], list]] = {
     "fig6": _cmd_fig6,
     "fig7": _cmd_fig7,
     "fig8": _cmd_fig8,
+    "advbench": _cmd_advbench,
     "casestudy": _cmd_casestudy,
     "chaos": _cmd_chaos,
     "ctrlbft": _cmd_ctrlbft,

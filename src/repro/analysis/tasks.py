@@ -20,12 +20,14 @@ from dataclasses import asdict, replace
 from typing import Any, Dict, List, Optional
 
 from repro.chaos import (
+    AdversaryStrategy,
     ChaosEngine,
     ControllerCompromise,
     ControllerCrash,
     FaultSchedule,
     QuarantineController,
 )
+from repro.core.alarms import ALARM_DOS_SUSPECTED, ALARM_ROUTER_UNAVAILABLE
 from repro.farm.spec import register_runner
 from repro.scenarios.ctrlplane import CtrlParams, build_ctrl_testbed
 from repro.scenarios.testbed import TestbedParams, build_testbed
@@ -240,6 +242,263 @@ def chaos_run(
             {t["branch"] for t in controller.transitions if t["event"] == "readmit"}
         ),
         "post_quarantine_gaps": post_quarantine_gaps,
+        "alarms": alarm_counts,
+        "compare": core.stats.as_dict(),
+    }
+
+
+#: the adversary axis of the advbench sweep.  ``sampled_p<digits>``
+#: encodes the corruption probability (p001 -> 0.001, p1 -> 0.1);
+#: ``colluding_minority`` compromises quorum-1 branches with identical
+#: wrong wire images, ``colluding_quorum`` compromises a full quorum —
+#: the negative-control row where the voter *must* admit damage.
+ADVBENCH_ADVERSARIES = (
+    "sampled_p001",
+    "sampled_p01",
+    "sampled_p1",
+    "probation_evader",
+    "sweep_timed",
+    "path_inconsistency",
+    "colluding_minority",
+    "colluding_quorum",
+)
+
+#: compare timing/threshold profiles swept by advbench.  Only *when*
+#: detection triggers varies — the vote policy stays bit-exact in every
+#: profile, so sub-quorum masked damage must be 0 in all rows.
+#: ``block_duration`` is kept short so a quarantined-but-quiet branch's
+#: clean copies reach the compare and probation can actually progress.
+COMPARE_PROFILES: Dict[str, Dict[str, Any]] = {
+    "balanced": {
+        "buffer_timeout": 2e-3,
+        "miss_threshold": 8,
+        "craft_threshold": 48,
+        "probation_clean_target": 12,
+        "block_duration": 2e-3,
+    },
+    "vigilant": {
+        "buffer_timeout": 1e-3,
+        "miss_threshold": 4,
+        "craft_threshold": 16,
+        "probation_clean_target": 24,
+        "block_duration": 1e-3,
+    },
+}
+
+
+def advbench_schedule(
+    adversary: str,
+    k: int,
+    activate_at: float,
+    until: Optional[float] = None,
+) -> FaultSchedule:
+    """The fault schedule behind one advbench adversary row.
+
+    Single-branch strategies target ``r1``; collusion rows target
+    ``r0..r{m-1}`` with m = quorum-1 (minority) or m = quorum (the
+    negative control).
+    """
+    quorum = k // 2 + 1
+    if adversary.startswith("sampled_p"):
+        rate = float("0." + adversary[len("sampled_p"):])
+        spec = [("r1", {"strategy": "sampled_corruption", "rate": rate})]
+    elif adversary == "probation_evader":
+        spec = [("r1", {"strategy": "probation_evader"})]
+    elif adversary == "sweep_timed":
+        spec = [("r1", {"strategy": "sweep_timed"})]
+    elif adversary == "path_inconsistency":
+        spec = [("r1", {"strategy": "path_inconsistency", "pace": 3})]
+    elif adversary == "colluding_minority":
+        spec = [(f"r{i}", {"strategy": "colluding_minority"}) for i in range(quorum - 1)]
+    elif adversary == "colluding_quorum":
+        spec = [(f"r{i}", {"strategy": "colluding_minority"}) for i in range(quorum)]
+    else:
+        raise ValueError(
+            f"unknown advbench adversary {adversary!r} "
+            f"(known: {list(ADVBENCH_ADVERSARIES)})"
+        )
+    events = [
+        AdversaryStrategy(activate_at, target, until=until, **kwargs)
+        for target, kwargs in spec
+    ]
+    return FaultSchedule(events, name=adversary)
+
+
+@register_runner("adv.run")
+def adversary_run(
+    seed: int,
+    variant: str = "central3",
+    adversary: str = "sampled_p1",
+    profile: str = "balanced",
+    duration: float = 0.03,
+    rate_mbps: float = 20.0,
+    payload_size: int = 512,
+    activate_at: float = 0.005,
+    params: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One UDP flow through a combiner testbed under one adversary strategy.
+
+    The detection-latency record behind the advbench table:
+    time-to-first-alarm, time-to-quarantine, packets leaked before the
+    first quarantine, masked damage (corrupted datagrams the voter
+    released — the canonical corruption lands in the UDP sequence
+    header, so any tampered datagram that reaches the receiver decodes
+    to an alien sequence number far above anything actually sent), and
+    the false-quarantine count over honest branches.
+    """
+    prof = COMPARE_PROFILES.get(profile)
+    if prof is None:
+        raise ValueError(
+            f"unknown compare profile {profile!r} (known: {sorted(COMPARE_PROFILES)})"
+        )
+    base = replace(
+        params_from_dict(params), compare_buffer_timeout=prof["buffer_timeout"]
+    )
+    testbed = build_scenario(variant, base, seed)
+    net = testbed.network
+    core = testbed.compare_core
+    if core is None:
+        raise ValueError(f"variant {variant!r} has no compare element")
+    # Threshold knobs are read dynamically by the compare, so tuning
+    # them post-build is safe (buffer_timeout is not: set above).
+    core.config.miss_threshold = prof["miss_threshold"]
+    core.config.craft_threshold = prof["craft_threshold"]
+    core.config.probation_clean_target = prof["probation_clean_target"]
+    core.config.block_duration = prof["block_duration"]
+    k = len(testbed.chain.routers)
+
+    warmup = 1e-3
+    until = warmup + duration
+    # A lying branch that keeps voting never goes *missing*; it surfaces
+    # through single-source expiries escalating to the crafted-flood DoS
+    # alarm, so the quarantine loop listens for both alarm kinds.
+    controller = QuarantineController(
+        core,
+        net.trace,
+        trigger_kinds=(ALARM_ROUTER_UNAVAILABLE, ALARM_DOS_SUSPECTED),
+    )
+    # An activation scheduled past the flow's end (the honest control)
+    # drops the deactivation event: the strategy never fires anyway.
+    engine = ChaosEngine(
+        advbench_schedule(
+            adversary, k, activate_at,
+            until=until if activate_at < until else None,
+        ),
+        net,
+        aliases=chaos_aliases(testbed),
+        compare_core=core,
+    )
+    engine.arm()
+
+    dport = 5001
+    receiver = UdpReceiver(testbed.h2, dport)
+    sender = UdpSender(
+        testbed.h1,
+        dst_mac=testbed.h2.mac,
+        dst_ip=testbed.h2.ip,
+        dport=dport,
+        rate_bps=rate_mbps * 1e6,
+        payload_size=payload_size,
+        send_cost=base.udp_send_cost,
+    )
+    sender.start(duration, delay=warmup)
+    net.run(until=warmup + duration + DRAIN_TIME)
+    flow = receiver.result(sender, duration)
+    receiver.close()
+    controller.detach()
+
+    strategies = engine.strategy_behaviors.values()
+    adversary_branches = sorted(s.branch for s in strategies)
+    tampered = sum(s.packets_tampered for s in strategies)
+    active_seconds = sum(s.active_seconds for s in strategies)
+
+    alarms = testbed.chain.alarms.alarms
+    alarm_counts: Dict[str, int] = {}
+    for alarm in alarms:
+        alarm_counts[alarm.kind] = alarm_counts.get(alarm.kind, 0) + 1
+    attack_alarms = [a for a in alarms if a.time >= activate_at]
+    time_to_first_alarm = None
+    first_alarm_kind = None
+    if attack_alarms:
+        first = min(attack_alarms, key=lambda a: a.time)
+        time_to_first_alarm = first.time - activate_at
+        first_alarm_kind = first.kind
+
+    transitions = controller.transitions
+    adversary_q_times = [
+        t["time"]
+        for t in transitions
+        if t["event"] == "quarantine" and t["branch"] in adversary_branches
+    ]
+    detection_latency = (
+        min(adversary_q_times) - activate_at if adversary_q_times else None
+    )
+    honest_branches = [b for b in range(k) if b not in adversary_branches]
+    false_quarantines = sum(
+        1
+        for t in transitions
+        if t["event"] == "quarantine" and t["branch"] in honest_branches
+    )
+    falsely_quarantined = sorted(
+        {
+            t["branch"]
+            for t in transitions
+            if t["event"] == "quarantine" and t["branch"] in honest_branches
+        }
+    )
+    false_quarantine_rate = (
+        len(falsely_quarantined) / len(honest_branches) if honest_branches else 0.0
+    )
+
+    # Damage accounting off the receiver's sequence log.  Intact seqs are
+    # < sender.sent; a released corrupt datagram decodes as an alien seq.
+    seen = receiver.received_sequences()
+    masked_damage = sum(1 for s in seen if s >= flow.sent)
+    intact = {s for s in seen if s < flow.sent}
+    # Leaked = attack-window datagrams (sent deterministically at
+    # warmup + s * interval) not delivered intact before the first
+    # adversary-branch quarantine; with an honest quorum every one is
+    # outvoted and leaked stays 0.
+    interval = sender.interval
+    window_end = min(adversary_q_times) if adversary_q_times else until
+    leaked = sum(
+        1
+        for s in range(flow.sent)
+        if activate_at <= warmup + s * interval < window_end and s not in intact
+    )
+
+    return {
+        "variant": variant,
+        "k": k,
+        "quorum": core.config.effective_quorum(),
+        "adversary": adversary,
+        "profile": profile,
+        "seed": seed,
+        "adversary_branches": adversary_branches,
+        "activate_at": activate_at,
+        "sent": flow.sent,
+        "received": flow.received_unique,
+        "duplicates": flow.duplicates,
+        "lost": flow.lost,
+        "loss_rate": flow.loss_rate,
+        "tampered": tampered,
+        "adversary_active_seconds": active_seconds,
+        "time_to_first_alarm": time_to_first_alarm,
+        "first_alarm_kind": first_alarm_kind,
+        "detection_latency": detection_latency,
+        "packets_leaked_before_quarantine": leaked,
+        "masked_damage": masked_damage,
+        "false_quarantines": false_quarantines,
+        "falsely_quarantined": falsely_quarantined,
+        "false_quarantine_rate": false_quarantine_rate,
+        "quarantined": sorted(
+            {t["branch"] for t in transitions if t["event"] == "quarantine"}
+        ),
+        "readmitted": sorted(
+            {t["branch"] for t in transitions if t["event"] == "readmit"}
+        ),
+        "transitions": transitions,
+        "injections": engine.injections,
         "alarms": alarm_counts,
         "compare": core.stats.as_dict(),
     }

@@ -12,6 +12,7 @@ missing branch and re-admitting it after probation.
 from repro.chaos.quarantine import QuarantineController
 from repro.chaos.schedule import (
     BEHAVIOR_FACTORIES,
+    AdversaryStrategy,
     BandwidthDegrade,
     BehaviorOff,
     BehaviorOn,
@@ -34,6 +35,7 @@ from repro.chaos.schedule import (
 
 __all__ = [
     "BEHAVIOR_FACTORIES",
+    "AdversaryStrategy",
     "BandwidthDegrade",
     "BehaviorOff",
     "BehaviorOn",

@@ -28,6 +28,7 @@ runner maps ``r0..r2`` to ``nc_r0..nc_r2``).
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import asdict, dataclass, fields
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Type
 
@@ -37,6 +38,7 @@ from repro.adversary import (
     DropBehavior,
     PayloadCorruptionBehavior,
 )
+from repro.adversary.strategies import STRATEGIES, ScheduledStrategy, build_strategy
 from repro.ctrl.replicated import CTRL_STRATEGIES
 from repro.net.link import Link
 from repro.net.topology import Network
@@ -44,6 +46,7 @@ from repro.obs.metrics import active_registry
 from repro.openflow.switch import OpenFlowSwitch
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.compare import CompareCore
     from repro.ctrl.replicated import ReplicatedControlPlane
 
 
@@ -190,6 +193,44 @@ class BehaviorOff(FaultEvent):
 
 
 @dataclass(frozen=True)
+class AdversaryStrategy(FaultEvent):
+    """Activate a scheduled, stateful adversary strategy on a switch.
+
+    Unlike :class:`BehaviorOn`'s static behaviours, a strategy from
+    ``repro.adversary.strategies`` is built per activation with its own
+    named rng stream and, when it needs them, the compare core's
+    probation / sweep hooks (hand ``compare_core=`` to the engine).
+    ``until`` restores the pre-compromise behaviour and credits the
+    strategy's active time; a target aliased or named ``r<i>`` binds the
+    strategy to branch ``i``.
+    """
+
+    KIND = "adversary_strategy"
+
+    strategy: str = "sampled_corruption"
+    rate: float = 1.0
+    pace: int = 1
+    window: float = 0.0
+    until: Optional[float] = None
+
+    def validate(self) -> None:
+        super().validate()
+        if self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"{self.KIND}: unknown strategy {self.strategy!r} "
+                f"(known: {sorted(STRATEGIES)})"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"{self.KIND}: rate={self.rate} out of [0, 1]")
+        if self.pace < 1:
+            raise ValueError(f"{self.KIND}: pace must be >= 1, got {self.pace}")
+        if self.window < 0.0:
+            raise ValueError(f"{self.KIND}: negative window {self.window}")
+        if self.until is not None and self.until <= self.time:
+            raise ValueError(f"{self.KIND}: until {self.until} <= time {self.time}")
+
+
+@dataclass(frozen=True)
 class ControllerCrash(FaultEvent):
     """Fail-stop one control-plane replica (target: ``c<i>`` or name).
 
@@ -263,6 +304,7 @@ EVENT_KINDS: Dict[str, Type[FaultEvent]] = {
         RouterRestart,
         BehaviorOn,
         BehaviorOff,
+        AdversaryStrategy,
         ControllerCrash,
         ControllerRestart,
         ControllerCompromise,
@@ -412,12 +454,19 @@ class ChaosEngine:
         network: Network,
         aliases: Optional[Dict[str, str]] = None,
         control_plane: Optional["ReplicatedControlPlane"] = None,
+        compare_core: Optional["CompareCore"] = None,
     ) -> None:
         self.schedule = schedule
         self.network = network
         self.aliases = dict(aliases or {})
         #: target of controller_* events; None = such events are an error
         self.control_plane = control_plane
+        #: hook source for adversary_strategy events that need the
+        #: compare's sweep / probation cadence; optional otherwise
+        self.compare_core = compare_core
+        #: switch name -> the ScheduledStrategy armed on it (so runners
+        #: can read per-strategy tamper counts after the run)
+        self.strategy_behaviors: Dict[str, ScheduledStrategy] = {}
         #: applied faults, in injection order: dicts of time/kind/target
         self.injections: List[dict] = []
         self._links_by_name = {link.name: link for link in network.links}
@@ -543,6 +592,32 @@ class ChaosEngine:
                 self.network.sim.schedule_at(
                     event.until, self._compile(BehaviorOff(event.until, event.target))
                 )
+        elif kind == "adversary_strategy":
+            switch = self.resolve_switch(event.target)
+            stream = self.network.rng.stream(
+                f"chaos.{self.schedule.name}.{switch.name}.{event.strategy}"
+            )
+            strategy = build_strategy(
+                event.strategy,
+                sim=self.network.sim,
+                rng=stream,
+                compare=self.compare_core,
+                branch=self._branch_index(event.target, switch.name),
+                rate=event.rate,
+                pace=event.pace,
+                window=event.window,
+            )
+            self.strategy_behaviors[switch.name] = strategy
+
+            def fn() -> None:
+                self._saved_behaviors.setdefault(switch.name, switch.behavior)
+                switch.behavior = strategy
+                strategy.activate()
+
+            if event.until is not None:
+                self.network.sim.schedule_at(
+                    event.until, self._compile(BehaviorOff(event.until, event.target))
+                )
         elif kind == "behavior_off":
             switch = self.resolve_switch(event.target)
             fn = lambda: self._restore_behavior(switch)  # noqa: E731
@@ -590,7 +665,20 @@ class ChaosEngine:
         if current[0] not in (None, 0.0) and saved[0] is not None:
             link.scale_rate(saved[0] / current[0])
 
+    _BRANCH_RE = re.compile(r"r(\d+)$")
+
+    def _branch_index(self, target: str, switch_name: str) -> Optional[int]:
+        """Branch index from an ``r<i>`` alias or ``...r<i>`` switch name."""
+        for name in (target, switch_name):
+            match = self._BRANCH_RE.search(name)
+            if match:
+                return int(match.group(1))
+        return None
+
     def _restore_behavior(self, switch: OpenFlowSwitch) -> None:
+        outgoing = switch.behavior
+        if isinstance(outgoing, ScheduledStrategy):
+            outgoing.deactivate()
         switch.behavior = self._saved_behaviors.pop(switch.name, None)
 
     def _record(self, event: FaultEvent) -> None:

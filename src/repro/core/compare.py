@@ -203,6 +203,9 @@ class CompareCore(QuorumMembershipMixin):
         # from before the branch recovered (stale-count guard).
         self._last_clean_vote: Dict[int, float] = {}
         self._init_membership()
+        # observers of the expiry-sweep tick (adversary strategies that
+        # time themselves against the vote cadence subscribe here)
+        self._sweep_listeners: List[Callable[[float], None]] = []
         self._sweeper = PeriodicTask(sim, config.buffer_timeout, self._sweep)
         # Latency/quorum histograms bound from the registry active at
         # construction time; None when metrics are disabled so the
@@ -372,7 +375,24 @@ class CompareCore(QuorumMembershipMixin):
         self.stats.cleanup_stall_time += stall
         self._trace("compare.cleanup", scanned=scanned, expired=len(expired), stall=stall)
 
+    @property
+    def sweep_period(self) -> float:
+        """The expiry-sweep cadence (one tick per ``buffer_timeout``)."""
+        return self.config.buffer_timeout
+
+    def add_sweep_listener(self, fn: Callable[[float], None]) -> None:
+        """Observe each expiry-sweep tick (called with ``sim.now``)."""
+        self._sweep_listeners.append(fn)
+
+    def remove_sweep_listener(self, fn: Callable[[float], None]) -> None:
+        if fn in self._sweep_listeners:
+            self._sweep_listeners.remove(fn)
+
     def _sweep(self) -> None:
+        if self._sweep_listeners:
+            now = self.sim.now
+            for fn in list(self._sweep_listeners):
+                fn(now)
         for entry in self.book.pop_expired(self.sim.now):
             self._finalise(entry)
         if not len(self.book):

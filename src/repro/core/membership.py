@@ -25,11 +25,17 @@ A host class mixes this in and provides:
 
 ``trace_prefix`` picks the trace-topic namespace (``compare.*`` for the
 data plane, ``ctrl.*`` for the control plane); alarm kinds are shared.
+
+The mixin also exposes the probation window to observers:
+``add_membership_listener(fn)`` calls ``fn(event, branch, now)`` on each
+``"quarantine"`` / ``"readmit"`` transition, and ``probation_status``
+reports a quarantined branch's clean-copy progress — the hooks the
+adversary strategy library (``repro.adversary.strategies``) keys off.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.alarms import (
     ALARM_BRANCH_QUARANTINED,
@@ -51,6 +57,30 @@ class QuorumMembershipMixin:
         # consecutive clean probation copies
         self._quarantined: Dict[int, float] = {}
         self._probation_clean: Dict[int, int] = {}
+        # observers of membership transitions, called with
+        # ("quarantine" | "readmit", branch, now)
+        self._membership_listeners: List[Callable[[str, int, float], None]] = []
+
+    def add_membership_listener(self, fn: Callable[[str, int, float], None]) -> None:
+        """Observe quarantine / re-admission transitions."""
+        self._membership_listeners.append(fn)
+
+    def remove_membership_listener(self, fn: Callable[[str, int, float], None]) -> None:
+        if fn in self._membership_listeners:
+            self._membership_listeners.remove(fn)
+
+    def _notify_membership(self, event: str, branch: int, now: float) -> None:
+        for fn in list(self._membership_listeners):
+            fn(event, branch, now)
+
+    def probation_status(self, branch: int) -> Optional[Tuple[int, int]]:
+        """``(clean_copies_so_far, target)`` while quarantined, else None."""
+        if branch not in self._quarantined:
+            return None
+        return (
+            self._probation_clean.get(branch, 0),
+            self.config.probation_clean_target,
+        )
 
     # ------------------------------------------------------------------
     def active_branches(self) -> List[int]:
@@ -108,6 +138,7 @@ class QuorumMembershipMixin:
             active=active,
             quorum=self.book.quorum,
         )
+        self._notify_membership("quarantine", branch, now)
         return True
 
     def readmit_branch(self, branch: int, reason: str = "probation_complete") -> bool:
@@ -139,6 +170,7 @@ class QuorumMembershipMixin:
             clean=clean,
             quorum=self.book.quorum,
         )
+        self._notify_membership("readmit", branch, now)
         return True
 
     def _apply_dynamic_quorum(self) -> None:

@@ -311,6 +311,11 @@ def render_summary(report: RunReport) -> str:
             for key, value in flow_rows:
                 if value:
                     lines.append(f"    {key} = {value:g}")
+        adversary_rows = _metric_rows(report, "adversary_", scenario)
+        if adversary_rows:
+            lines.append("  adversary:")
+            for key, value in adversary_rows:
+                lines.append(f"    {key} = {value:g}")
         span_stats = report.spans.get(scenario)
         if span_stats:
             lines.append(

@@ -33,6 +33,7 @@ __all__ = [
     "fig8_plan",
     "chaos_plan",
     "ctrlbft_plan",
+    "advbench_plan",
     "table1_plan",
     "smoke_plan",
     "builtin_plan",
@@ -329,6 +330,48 @@ def ctrlbft_plan(
     )
 
 
+def advbench_plan(
+    variants: Sequence[str] = ("central3", "central5"),
+    adversaries: Optional[Sequence[str]] = None,
+    profiles: Sequence[str] = ("balanced", "vigilant"),
+    duration: float = 0.03,
+    rate_mbps: float = 20.0,
+    seeds: Sequence[int] = (1, 2),
+    params: Optional[Dict[str, Any]] = None,
+) -> ExperimentPlan:
+    """Detection-latency benchmark: adversary strategy × k × compare profile.
+
+    Each grid point is one ``adv.run``: a UDP flow through a combiner
+    while a scheduled adversary strategy (``repro.adversary.strategies``)
+    runs on one or more branches, recording time-to-first-alarm,
+    time-to-quarantine, packets leaked before quarantine, masked damage
+    and the honest-branch false-quarantine rate.  Seeds fold into a
+    paper-style table per (variant, adversary, profile)."""
+    if adversaries is None:
+        from repro.analysis.tasks import ADVBENCH_ADVERSARIES
+
+        adversaries = ADVBENCH_ADVERSARIES
+    return ExperimentPlan(
+        name="advbench",
+        description="Adversary strategies vs the combiner: detection "
+                    "latency, leaked packets, masked damage and false "
+                    "quarantines per adversary x k x compare profile.",
+        stages=[PlanStage(
+            name="surface",
+            task="adv.run",
+            scenarios=list(variants),
+            sweep={
+                "adversary": list(adversaries),
+                "profile": list(profiles),
+            },
+            args={"duration": duration, "rate_mbps": rate_mbps},
+            seeds=list(seeds),
+            params=params,
+            merge={"kind": "detection_table"},
+        )],
+    )
+
+
 def table1_plan(
     duration_tcp: float = 0.15,
     duration_udp: float = 0.08,
@@ -381,6 +424,7 @@ _BUILDERS = {
     "fig8": fig8_plan,
     "chaos": chaos_plan,
     "ctrlbft": ctrlbft_plan,
+    "advbench": advbench_plan,
     "table1": table1_plan,
     "smoke": smoke_plan,
 }
@@ -395,6 +439,7 @@ QUICK_SETTINGS: Dict[str, Dict[str, Any]] = {
     "fig8": {"payload_sizes": (128, 512, 1470), "repetitions": 1},
     "chaos": {"duration": 0.04, "seeds": (1,)},
     "ctrlbft": {"variants": ("central3",), "duration": 0.04},
+    "advbench": {"profiles": ("vigilant",), "duration": 0.024, "seeds": (1,)},
     "table1": {
         "duration_tcp": 0.06, "duration_udp": 0.04,
         "ping_count": 20, "repetitions": 1,

@@ -294,6 +294,108 @@ register_merger(Merger(
 
 
 # ----------------------------------------------------------------------
+# detection_table: advbench records aggregated over seeds per
+# (variant, adversary, profile) -> a paper-style detection-latency table
+# ----------------------------------------------------------------------
+def _merge_detection_table(specs, results, options):
+    grouped: Dict[tuple, Dict[str, Any]] = {}
+    order: List[tuple] = []
+    for spec in specs:
+        rec = results[spec.key]
+        key = (rec["variant"], rec["adversary"], rec["profile"])
+        row = grouped.get(key)
+        if row is None:
+            row = grouped[key] = {
+                "variant": rec["variant"],
+                "k": rec["k"],
+                "quorum": rec["quorum"],
+                "adversary": rec["adversary"],
+                "profile": rec["profile"],
+                "seeds": 0,
+                "detected": 0,
+                "tampered": 0,
+                # safety metrics fold as worst-case over seeds, so the
+                # "must be 0" claims read straight off the table
+                "leaked_max": 0,
+                "masked_damage_max": 0,
+                "false_quarantine_rate_max": 0.0,
+                "_alarm": [],
+                "_latency": [],
+            }
+            order.append(key)
+        row["seeds"] += 1
+        row["tampered"] += rec["tampered"]
+        if rec["time_to_first_alarm"] is not None:
+            row["_alarm"].append(rec["time_to_first_alarm"])
+        if rec["detection_latency"] is not None:
+            row["detected"] += 1
+            row["_latency"].append(rec["detection_latency"])
+        row["leaked_max"] = max(
+            row["leaked_max"], rec["packets_leaked_before_quarantine"]
+        )
+        row["masked_damage_max"] = max(row["masked_damage_max"], rec["masked_damage"])
+        row["false_quarantine_rate_max"] = max(
+            row["false_quarantine_rate_max"], rec["false_quarantine_rate"]
+        )
+    rows = []
+    for key in order:
+        row = grouped[key]
+        alarm = row.pop("_alarm")
+        latency = row.pop("_latency")
+        row["time_to_first_alarm"] = (
+            round(sum(alarm) / len(alarm), 6) if alarm else None
+        )
+        row["detection_latency"] = (
+            round(sum(latency) / len(latency), 6) if latency else None
+        )
+        rows.append(row)
+    return rows
+
+
+def _detection_table_records(merged, options) -> List[Dict[str, Any]]:
+    return list(merged)
+
+
+def _ms(value: Optional[float]) -> str:
+    return f"{value * 1e3:.2f}ms" if value is not None else "-"
+
+
+def _detection_table_render(merged, options) -> str:
+    report = _report_mod()
+    headers = [
+        "variant", "k", "adversary", "profile", "detected",
+        "t_alarm", "t_quarantine", "leaked", "masked", "false_q",
+    ]
+    table = [
+        [
+            row["variant"],
+            str(row["k"]),
+            row["adversary"],
+            row["profile"],
+            f"{row['detected']}/{row['seeds']}",
+            _ms(row["time_to_first_alarm"]),
+            _ms(row["detection_latency"]),
+            str(row["leaked_max"]),
+            str(row["masked_damage_max"]),
+            f"{row['false_quarantine_rate_max']:.2f}",
+        ]
+        for row in merged
+    ]
+    return (
+        "detection-latency surface (worst case over seeds; masked must "
+        "be 0 below quorum)\n" + report.format_table(headers, table)
+    )
+
+
+register_merger(Merger(
+    kind="detection_table",
+    merge=_merge_detection_table,
+    records=_detection_table_records,
+    render=_detection_table_render,
+))
+
+
+# ----------------------------------------------------------------------
 # metric_table: fold stage records into values[metric][scenario]
 # (Table I: the tcp/udp/rtt stages of one plan)
 # ----------------------------------------------------------------------

@@ -57,6 +57,30 @@ def test_chaos_run_identical_across_train(seed):
     assert batched == legacy
 
 
+@pytest.mark.parametrize("seed", SEEDS)
+def test_adversary_run_identical_across_train(seed):
+    """The batch tier must not perturb detection-latency records either:
+    alarm times, quarantine transitions, leak/masked-damage accounting
+    are bit-identical with 32-packet trains, for every strategy."""
+    from repro.analysis.tasks import ADVBENCH_ADVERSARIES, adversary_run
+
+    adversary = ADVBENCH_ADVERSARIES[seed % len(ADVBENCH_ADVERSARIES)]
+    variant = "central5" if adversary.startswith("colluding") else "central3"
+
+    def run(train):
+        return adversary_run(
+            seed=seed,
+            variant=variant,
+            adversary=adversary,
+            profile="vigilant",
+            duration=0.02,
+            activate_at=0.004,
+            params={"batch_train": train} if train > 1 else None,
+        )
+
+    assert run(32) == run(1)
+
+
 def _strip_internal(metrics: dict) -> dict:
     """Drop scheduler-internal accounting, keep every observable metric.
 

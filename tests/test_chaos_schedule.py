@@ -6,6 +6,7 @@ import json
 import pytest
 
 from repro.chaos import (
+    AdversaryStrategy,
     BandwidthDegrade,
     BehaviorOn,
     ChaosEngine,
@@ -89,6 +90,50 @@ class TestScheduleFormat:
             FaultSchedule([RouterCrash(0.5, "r", restart_at=0.5)]).validate()
         with pytest.raises(ValueError, match="unknown behavior"):
             FaultSchedule([BehaviorOn(0.1, "r", behavior="gremlin")]).validate()
+
+    def test_adversary_strategy_round_trip(self):
+        schedule = FaultSchedule(
+            [
+                AdversaryStrategy(0.002, "r1", strategy="sampled_corruption",
+                                  rate=0.25, until=0.009),
+                AdversaryStrategy(0.003, "r0", strategy="path_inconsistency",
+                                  pace=3),
+                AdversaryStrategy(0.004, "r2", strategy="sweep_timed",
+                                  window=5e-4),
+            ],
+            name="strategies",
+        )
+        schedule.validate()
+        d = schedule.to_dict()
+        again = FaultSchedule.from_dict(d)
+        assert again.to_dict() == d
+        assert FaultSchedule.from_json(json.dumps(d)).to_dict() == d
+        event = next(iter(again))
+        assert isinstance(event, AdversaryStrategy)
+        assert (event.strategy, event.rate, event.until) == (
+            "sampled_corruption", 0.25, 0.009)
+
+    def test_adversary_strategy_validation(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            FaultSchedule(
+                [AdversaryStrategy(0.1, "r1", strategy="gremlin")]
+            ).validate()
+        with pytest.raises(ValueError, match="rate"):
+            FaultSchedule(
+                [AdversaryStrategy(0.1, "r1", rate=1.5)]
+            ).validate()
+        with pytest.raises(ValueError, match="pace"):
+            FaultSchedule(
+                [AdversaryStrategy(0.1, "r1", pace=0)]
+            ).validate()
+        with pytest.raises(ValueError, match="window"):
+            FaultSchedule(
+                [AdversaryStrategy(0.1, "r1", window=-1e-3)]
+            ).validate()
+        with pytest.raises(ValueError, match="until"):
+            FaultSchedule(
+                [AdversaryStrategy(0.1, "r1", until=0.1)]
+            ).validate()
 
     def test_save_and_reload(self, tmp_path):
         path = str(tmp_path / "spec.json")
@@ -250,6 +295,62 @@ class TestSwitchFaults:
         assert s1.behavior is None  # restored
         assert s1.stats.behavior_handled == 3
         assert sorted(p.ip.ident for p in got) == [0, 1, 2, 3, 7, 8, 9]
+
+
+class TestAdversaryStrategyEvents:
+    def test_activation_window_tampers_then_restores(self):
+        net, h1, h2, s1, _ = two_switch_net()
+        got = blast(net, h1, h2, count=10, spacing=1e-3)
+        engine = ChaosEngine(
+            FaultSchedule(
+                [AdversaryStrategy(0.0035, "s1", strategy="sampled_corruption",
+                                   rate=1.0, until=0.0065)]
+            ),
+            net,
+        )
+        engine.arm()
+        net.run(until=0.05)
+        assert s1.behavior is None  # restored after the window
+        strategy = engine.strategy_behaviors["s1"]
+        # datagrams 4..6 crossed the active window and were corrupted
+        # in-flight (still delivered: no voter on this toy topology)
+        assert strategy.packets_tampered == 3
+        assert strategy.active_seconds == pytest.approx(0.003)
+        assert strategy.activated_at is None
+        assert len(got) == 10
+        corrupted = [p for p in got if set(p.payload) != {p.payload[-1]}]
+        assert len(corrupted) == 3
+
+    def test_strategy_uses_named_rng_stream(self):
+        def tampered_idents(seed):
+            net, h1, h2, _, _ = two_switch_net(seed=seed)
+            got = blast(net, h1, h2, count=20, spacing=1e-3)
+            ChaosEngine(
+                FaultSchedule(
+                    [AdversaryStrategy(0.0, "s1",
+                                       strategy="sampled_corruption",
+                                       rate=0.5)],
+                    name="probe",
+                ),
+                net,
+            ).arm()
+            net.run(until=0.05)
+            return sorted(p.ip.ident for p in got
+                          if set(p.payload) != {p.payload[-1]})
+
+        assert tampered_idents(3) == tampered_idents(3)
+        assert tampered_idents(3) != tampered_idents(4)
+
+    def test_compare_bound_strategy_without_core_fails_at_arm(self):
+        net, *_ = two_switch_net()
+        engine = ChaosEngine(
+            FaultSchedule(
+                [AdversaryStrategy(0.001, "s1", strategy="sweep_timed")]
+            ),
+            net,
+        )
+        with pytest.raises(ValueError, match="compare core"):
+            engine.arm()
 
 
 def test_chaos_run_is_bit_reproducible():

@@ -69,5 +69,5 @@ class TestCli:
     def test_all_known_commands_registered(self):
         assert set(COMMANDS) == {
             "table1", "fig4", "fig5", "fig6", "fig7", "fig8",
-            "casestudy", "chaos", "ctrlbft", "virtualized",
+            "advbench", "casestudy", "chaos", "ctrlbft", "virtualized",
         }
