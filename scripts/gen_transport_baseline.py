@@ -1,0 +1,69 @@
+"""Regenerate ``benchmarks/transport_baseline.json``.
+
+The file pins what the DES backend produced *before* the transport-layer
+refactor: 24 seeds of the ``crash_restart`` chaos record (flow counters,
+fault timeline, quarantine transitions, alarms, compare stats) plus two
+seeds of the instrumented fig5-style RunReport (records, spans, metrics).
+
+``tests/test_transport_layer.py`` replays the same workloads through the
+current code and asserts every *baseline* field is still bit-identical —
+new fields may appear (counters grow over PRs), existing ones may not
+drift.  Regenerate only when an intentional behaviour change is made,
+and say so in the commit message::
+
+    PYTHONPATH=src python scripts/gen_transport_baseline.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.analysis.tasks import chaos_run  # noqa: E402
+from repro.chaos.schedule import builtin_battery  # noqa: E402
+from repro.obs.summary import build_run_report  # noqa: E402
+
+CHAOS_SEEDS = range(24)
+CHAOS_DURATION = 0.03
+OBS_SEEDS = (1, 7)
+
+OUT = os.path.join(os.path.dirname(__file__), "..", "benchmarks",
+                   "transport_baseline.json")
+
+
+def main() -> None:
+    schedule = builtin_battery()["crash_restart"].to_dict()
+    baseline = {
+        "workloads": {
+            "chaos": {
+                "schedule": "crash_restart",
+                "variant": "central3",
+                "duration": CHAOS_DURATION,
+            },
+            "obs": {"quick": True},
+        },
+        "chaos": {},
+        "obs": {},
+    }
+    for seed in CHAOS_SEEDS:
+        record = chaos_run(
+            schedule, seed, variant="central3", duration=CHAOS_DURATION
+        )
+        baseline["chaos"][str(seed)] = record
+        print(f"chaos seed {seed}: sent={record['sent']} "
+              f"received={record['received']} alarms={record['alarms']}")
+    for seed in OBS_SEEDS:
+        report, _runs = build_run_report(quick=True, seed=seed)
+        baseline["obs"][str(seed)] = report.to_dict()
+        print(f"obs seed {seed}: {len(report.metrics)} metrics")
+    with open(OUT, "w", encoding="utf-8") as fh:
+        json.dump(baseline, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {os.path.normpath(OUT)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -276,12 +276,18 @@ def main(argv=None) -> int:
         from repro.obs.fleet_cli import fleet_main
 
         return fleet_main(argv[1:])
+    if argv and argv[0] == "live":
+        # Real-socket runs: the combiner over localhost UDP processes.
+        from repro.live.cli import live_main
+
+        return live_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the NetCo paper's tables and figures "
                     "(`python -m repro plan --help` for declarative plans, "
                     "`python -m repro obs --help` for observability tools, "
-                    "`python -m repro fleet --help` for live fleet telemetry).",
+                    "`python -m repro fleet --help` for live fleet telemetry, "
+                    "`python -m repro live demo` for the real-socket demo).",
     )
     parser.add_argument(
         "experiment",

@@ -12,13 +12,44 @@ controller — both of which are explicit parameters here.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
 from repro.core.compare import CompareContext, CompareCore
 from repro.core.endpoint import CombinerEndpoint
 from repro.openflow.controller import Controller
 from repro.openflow.messages import PacketIn, PacketOut
 from repro.openflow.switch import OpenFlowSwitch
+from repro.transport import ROLE_COLLECT, ROLE_RELEASE, Session, SessionSpec, Transport
+
+
+class ControlChannelReleaseSession(Session):
+    """Release-role session over the OpenFlow control channel: each
+    message is a packet-out back to the collecting endpoint."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        app: "PoxStyleCompareApp",
+        endpoint: CombinerEndpoint,
+    ) -> None:
+        super().__init__(transport, SessionSpec(endpoint.name, ROLE_RELEASE))
+        self.app = app
+        self.endpoint = endpoint
+
+    def send(
+        self,
+        packet: object,
+        branch: Optional[int] = None,
+        claim: Optional[int] = None,
+    ) -> None:
+        self.stats.tx_messages += 1
+        if self.transport._tracers:
+            self.transport._trace(
+                "tx", self.spec, packet, {"branch": branch, "claim": claim}
+            )
+        self.app.send_packet_out(
+            self.endpoint, PacketOut(packet=packet, actions=[], in_port=0)
+        )
 
 
 class PoxStyleCompareApp(Controller):
@@ -37,27 +68,37 @@ class PoxStyleCompareApp(Controller):
         name: str = "pox-compare",
         trace_bus=None,
         proc_time: float = 0.0,
+        transport: Optional[Transport] = None,
     ) -> None:
         super().__init__(sim, name, trace_bus=trace_bus, proc_time=proc_time)
         self.core = core
-        self._contexts: Dict[int, CompareContext] = {}
+        self.transport = transport or Transport(name=f"{name}.transport")
+        self._sessions: Dict[int, Tuple[Session, CompareContext]] = {}
 
-    def _context_for(self, endpoint: CombinerEndpoint) -> CompareContext:
-        context = self._contexts.get(endpoint.datapath_id)
-        if context is None:
-
-            def release(packet) -> None:
-                self.send_packet_out(
-                    endpoint, PacketOut(packet=packet, actions=[], in_port=0)
-                )
-
+    def _sessions_for(
+        self, endpoint: CombinerEndpoint
+    ) -> Tuple[Session, CompareContext]:
+        entry = self._sessions.get(endpoint.datapath_id)
+        if entry is None:
+            release = self.transport.adopt(
+                ControlChannelReleaseSession(self.transport, self, endpoint)
+            )
             context = CompareContext(
                 scope=endpoint.name,
-                release=release,
+                release=release.send,
                 block_branch=endpoint.block_branch_ingress,
             )
-            self._contexts[endpoint.datapath_id] = context
-        return context
+            collect = self.transport.adopt(
+                Session(self.transport, SessionSpec(endpoint.name, ROLE_COLLECT))
+            )
+            collect.set_receiver(
+                lambda packet, meta, context=context: self.core.submit(
+                    packet, meta["branch"], context
+                )
+            )
+            entry = (collect, context)
+            self._sessions[endpoint.datapath_id] = entry
+        return entry
 
     def on_packet_in(self, switch: OpenFlowSwitch, event: PacketIn) -> None:
         if not isinstance(switch, CombinerEndpoint):
@@ -67,4 +108,5 @@ class PoxStyleCompareApp(Controller):
         if branch is None:
             self.trace("pox_compare.unknown_branch", in_port=event.in_port)
             return
-        self.core.submit(event.packet, branch, self._context_for(switch))
+        collect, _context = self._sessions_for(switch)
+        collect.deliver(event.packet, {"branch": branch})

@@ -201,8 +201,10 @@ class AdversaryStrategy(FaultEvent):
     named rng stream and, when it needs them, the compare core's
     probation / sweep hooks (hand ``compare_core=`` to the engine).
     ``until`` restores the pre-compromise behaviour and credits the
-    strategy's active time; a target aliased or named ``r<i>`` binds the
-    strategy to branch ``i``.
+    strategy's active time.  Branch binding: an explicit ``branch`` field
+    wins; otherwise a target aliased or named ``r<i>`` binds the strategy
+    to branch ``i``.  A strategy that requires a branch fails at arm time
+    (with the target named) when neither is available.
     """
 
     KIND = "adversary_strategy"
@@ -212,6 +214,7 @@ class AdversaryStrategy(FaultEvent):
     pace: int = 1
     window: float = 0.0
     until: Optional[float] = None
+    branch: Optional[int] = None
 
     def validate(self) -> None:
         super().validate()
@@ -228,6 +231,8 @@ class AdversaryStrategy(FaultEvent):
             raise ValueError(f"{self.KIND}: negative window {self.window}")
         if self.until is not None and self.until <= self.time:
             raise ValueError(f"{self.KIND}: until {self.until} <= time {self.time}")
+        if self.branch is not None and self.branch < 0:
+            raise ValueError(f"{self.KIND}: branch must be >= 0, got {self.branch}")
 
 
 @dataclass(frozen=True)
@@ -597,16 +602,26 @@ class ChaosEngine:
             stream = self.network.rng.stream(
                 f"chaos.{self.schedule.name}.{switch.name}.{event.strategy}"
             )
-            strategy = build_strategy(
-                event.strategy,
-                sim=self.network.sim,
-                rng=stream,
-                compare=self.compare_core,
-                branch=self._branch_index(event.target, switch.name),
-                rate=event.rate,
-                pace=event.pace,
-                window=event.window,
-            )
+            branch = event.branch
+            if branch is None:
+                branch = self._branch_index(event.target, switch.name)
+            try:
+                strategy = build_strategy(
+                    event.strategy,
+                    sim=self.network.sim,
+                    rng=stream,
+                    compare=self.compare_core,
+                    branch=branch,
+                    rate=event.rate,
+                    pace=event.pace,
+                    window=event.window,
+                )
+            except ValueError as exc:
+                raise ValueError(
+                    f"adversary_strategy on target {event.target!r} "
+                    f"(switch {switch.name!r}): {exc}; give the event an "
+                    "explicit 'branch' field or use an 'r<i>' target"
+                ) from exc
             self.strategy_behaviors[switch.name] = strategy
 
             def fn() -> None:

@@ -31,6 +31,14 @@ from repro.openflow.actions import Output
 from repro.openflow.match import Match
 from repro.openflow.switch import OpenFlowSwitch
 from repro.sim import CpuResource, Simulator, TraceBus
+from repro.transport import (
+    ROLE_COLLECT,
+    ROLE_RELEASE,
+    DesTransport,
+    SessionSpec,
+    Transport,
+)
+from repro.transport.des import read_collect_meta
 
 
 class CompareHost(Node):
@@ -47,40 +55,53 @@ class CompareHost(Node):
         name: str,
         core: CompareCore,
         trace_bus: Optional[TraceBus] = None,
+        transport: Optional[Transport] = None,
     ) -> None:
         super().__init__(sim, name, trace_bus)
         self.core = core
+        self.transport = transport or DesTransport(
+            sim, trace_bus, name=f"{name}.transport"
+        )
         self._contexts: Dict[int, CompareContext] = {}
+        self._collect_by_port: Dict[int, object] = {}
 
     def register_endpoint(self, port_no: int, endpoint: CombinerEndpoint) -> None:
         """Associate a local port with the endpoint it serves."""
         port = self.port(port_no)
-
-        def release(packet: Packet) -> None:
-            dup = packet.copy()
-            if packet.meta is not None:
-                # Preserve the claim (egress decision) across the copy so
-                # the endpoint can honour it; the branch tag is spent.
-                dup.meta = {"claim": packet.meta.get("claim")}
-            port.send(dup)
-
-        self._contexts[port_no] = CompareContext(
+        # Releases travel back out the same port; the release-role session
+        # re-tags the copy with the claim (egress decision) only — the
+        # branch tag is spent once the vote resolves.
+        release = self.transport.session(
+            SessionSpec(endpoint.name, ROLE_RELEASE), port=port
+        )
+        context = CompareContext(
             scope=endpoint.name,
-            release=release,
+            release=lambda packet: release.send(
+                packet, claim=(packet.meta or {}).get("claim")
+            ),
             block_branch=endpoint.block_branch_ingress,
         )
+        self._contexts[port_no] = context
+        collect = self.transport.session(
+            SessionSpec(endpoint.name, ROLE_COLLECT), port=port
+        )
+        collect.set_receiver(
+            lambda packet, meta, context=context: self.core.submit(
+                packet, meta["branch"], context, claim=meta.get("claim")
+            )
+        )
+        self._collect_by_port[port_no] = collect
 
     def receive(self, packet: Packet, in_port: Port) -> None:
-        context = self._contexts.get(in_port.port_no)
-        if context is None:
+        session = self._collect_by_port.get(in_port.port_no)
+        if session is None:
             self.trace("compare_host.unregistered_port", port=in_port.port_no)
             return
-        meta = packet.meta or {}
-        branch = meta.get("branch")
-        if branch is None:
+        meta = read_collect_meta(packet)
+        if meta.get("branch") is None:
             self.trace("compare_host.untagged_packet", port=in_port.port_no)
             return
-        self.core.submit(packet, branch, context, claim=meta.get("claim"))
+        session.deliver(packet, meta)
 
 
 @dataclass
@@ -148,6 +169,25 @@ class CombinerChain:
     @property
     def k(self) -> int:
         return len(self.routers)
+
+    @property
+    def transport(self) -> Transport:
+        """The collecting endpoints' transport (DES backend by default)."""
+        return self.endpoint_a.transport
+
+    @property
+    def transports(self) -> Dict[str, Transport]:
+        """Every node's transport, keyed by node name (one transport per
+        node attachment, as with real sockets)."""
+        nodes = [self.endpoint_a, self.endpoint_b, *self.routers]
+        if self.compare_host is not None:
+            nodes.append(self.compare_host)
+        return {node.name: node.transport for node in nodes}
+
+    def add_tracer(self, fn) -> None:
+        """Observe every transport message anywhere in the chain."""
+        for transport in self.transports.values():
+            transport.add_tracer(fn)
 
     def install_mac_route(self, mac: MacAddress, toward: str) -> None:
         """Program every untrusted router to send ``mac`` toward endpoint

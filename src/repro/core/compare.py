@@ -35,6 +35,7 @@ from typing import Callable, Dict, Hashable, List, Optional, Sequence
 
 from repro.core.alarms import (
     ALARM_DOS_SUSPECTED,
+    ALARM_MINORITY_DIVERGENCE,
     ALARM_ROUTER_UNAVAILABLE,
     ALARM_SINGLE_SOURCE_PACKET,
     AlarmSink,
@@ -82,6 +83,12 @@ class CompareConfig:
     block_duration: float = 50e-3
     #: consecutive released packets a branch may miss before the alarm
     miss_threshold: int = 10
+    #: cumulative entries carrying a branch's *unconfirmed* bytes (expired
+    #: without any active majority agreeing) before the minority-divergence
+    #: alarm latches.  Cumulative, not consecutive: a colluding minority
+    #: that diverges intermittently stays under every consecutive counter
+    #: (its miss count resets at each clean packet) but accumulates here.
+    divergence_threshold: int = 16
     #: consecutive clean (bit-identical, non-duplicate) copies a
     #: quarantined branch must deliver before it is re-admitted
     probation_clean_target: int = 12
@@ -107,6 +114,8 @@ class CompareConfig:
             raise ValueError("cache_capacity must be >= 1")
         if self.probation_clean_target < 1:
             raise ValueError("probation_clean_target must be >= 1")
+        if self.divergence_threshold < 1:
+            raise ValueError("divergence_threshold must be >= 1")
         if self.min_active_branches < 1:
             raise ValueError("min_active_branches must be >= 1")
 
@@ -135,6 +144,12 @@ class CompareStats:
     readmissions: int = 0
     quarantined_copies: int = 0
     probation_resets: int = 0
+    #: entries that expired carrying bytes no active majority confirmed,
+    #: summed over the (non-quarantined) branches that voted for them
+    divergent_copies: int = 0
+    #: minority-divergence alarms latched (at most one per branch until
+    #: the branch is quarantined and later re-admitted)
+    divergence_alarms: int = 0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -198,11 +213,16 @@ class CompareCore(QuorumMembershipMixin):
         # liveness bookkeeping
         self._miss_counts: Dict[int, int] = {b: 0 for b in self.branch_ids}
         self._unavailable: Dict[int, bool] = {b: False for b in self.branch_ids}
+        # minority-divergence bookkeeping: how often each branch's bytes
+        # expired unconfirmed, and whether the alarm already latched
+        self._divergence_counts: Dict[int, int] = {b: 0 for b in self.branch_ids}
+        self._divergence_alarmed: Dict[int, bool] = {}
         # Time of each branch's last clean (counted, non-duplicate) vote:
         # entries older than this must not count as misses — they date
         # from before the branch recovered (stale-count guard).
         self._last_clean_vote: Dict[int, float] = {}
         self._init_membership()
+        self.add_membership_listener(self._membership_divergence_reset)
         # observers of the expiry-sweep tick (adversary strategies that
         # time themselves against the vote cadence subscribe here)
         self._sweep_listeners: List[Callable[[float], None]] = []
@@ -223,9 +243,15 @@ class CompareCore(QuorumMembershipMixin):
                 labelnames=("compare",),
                 buckets=(1.0, 2.0, 3.0, 4.0, 5.0, 7.0, 9.0),
             ).labels(name)
+            self._c_branch_divergence = registry.counter(
+                "compare_branch_divergence_total",
+                "expired entries carrying a branch's unconfirmed bytes",
+                labelnames=("compare", "branch"),
+            )
         else:
             self._h_release_latency = None
             self._h_quorum_votes = None
+            self._c_branch_divergence = None
 
     # ------------------------------------------------------------------
     # submission path
@@ -430,6 +456,10 @@ class CompareCore(QuorumMembershipMixin):
                     copies=entry.total_copies(),
                 )
                 self._note_crafted(branch)
+            for present in entry.branches():
+                if present in self._quarantined or present in entry.probation_counts:
+                    continue
+                self._note_divergence(present)
             self._trace(
                 "compare.drop_unreleased",
                 votes=entry.distinct_branches,
@@ -467,6 +497,42 @@ class CompareCore(QuorumMembershipMixin):
         )
         if context is not None and context.block_branch is not None:
             context.block_branch(branch, self.config.block_duration)
+
+    def _note_divergence(self, branch: int) -> None:
+        """A (non-quarantined) branch voted for bytes that expired without
+        any active majority confirming them.  The count is cumulative and
+        the alarm latches: it surfaces the silent colluding minority (at
+        k=5, two branches delivering identical altered copies never trip
+        the single-source alarm, and intermittent divergence resets every
+        consecutive miss counter) without changing the vote itself.
+        """
+        count = self._divergence_counts.get(branch, 0) + 1
+        self._divergence_counts[branch] = count
+        self.stats.divergent_copies += 1
+        if self._c_branch_divergence is not None:
+            self._c_branch_divergence.labels(self.name, str(branch)).inc()
+        if (
+            count >= self.config.divergence_threshold
+            and not self._divergence_alarmed.get(branch)
+        ):
+            self._divergence_alarmed[branch] = True
+            self.stats.divergence_alarms += 1
+            self.alarms.raise_alarm(
+                self.sim.now,
+                ALARM_MINORITY_DIVERGENCE,
+                self.name,
+                branch=branch,
+                divergent_entries=count,
+            )
+
+    def _membership_divergence_reset(
+        self, kind: str, branch: int, now: float
+    ) -> None:
+        # A re-admitted branch served its probation; its divergence
+        # history (which likely drove the quarantine) starts over.
+        if kind == "readmit":
+            self._divergence_counts[branch] = 0
+            self._divergence_alarmed.pop(branch, None)
 
     def _note_missing(self, branch: int, first_seen: float) -> None:
         if first_seen < self._last_clean_vote.get(branch, -1.0):

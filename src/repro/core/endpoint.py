@@ -33,6 +33,15 @@ from repro.net.packet import Packet
 from repro.openflow.messages import PACKETIN_NO_MATCH, PacketIn, PacketOut
 from repro.openflow.switch import OpenFlowSwitch
 from repro.sim import Simulator, TraceBus
+from repro.transport import (
+    ROLE_COLLECT,
+    ROLE_FANOUT,
+    ROLE_RELEASE,
+    Session,
+    SessionSpec,
+    Transport,
+)
+from repro.transport.des import read_collect_meta
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     pass
@@ -48,6 +57,42 @@ def branch_marker(branch: int) -> MacAddress:
     """The source-marker MAC for a branch (paper: 'the only written
     header field is the MAC source address')."""
     return MacAddress(_MARKER_BASE + branch)
+
+
+class ControlChannelCollectSession(Session):
+    """Collect-role session over the OpenFlow control channel (POX3).
+
+    Each message is a packet-in whose ``in_port`` encodes the branch —
+    the paper's reference transport.  Claims are not representable on
+    this channel (packet-ins carry no sideband), matching the original
+    controller path.
+    """
+
+    def __init__(self, transport: Transport, endpoint: "CombinerEndpoint") -> None:
+        super().__init__(transport, SessionSpec(endpoint.name, ROLE_COLLECT))
+        self.endpoint = endpoint
+
+    def send(
+        self,
+        packet: Packet,
+        branch: Optional[int] = None,
+        claim: Optional[int] = None,
+    ) -> None:
+        self.stats.tx_messages += 1
+        endpoint = self.endpoint
+        if self.transport._tracers:
+            self.transport._trace(
+                "tx", self.spec, packet, {"branch": branch, "claim": claim}
+            )
+        endpoint.stats.packet_ins += 1
+        endpoint._send_to_controller(
+            PacketIn(
+                datapath_id=endpoint.datapath_id,
+                packet=packet,
+                in_port=endpoint._port_by_branch[branch],
+                reason=PACKETIN_NO_MATCH,
+            )
+        )
 
 
 class EndpointStats:
@@ -91,6 +136,7 @@ class CombinerEndpoint(OpenFlowSwitch):
         mark_sources: bool = False,
         alarm_sink: Optional[AlarmSink] = None,
         service_queue_capacity: int = 1000,
+        transport: Optional[Transport] = None,
     ) -> None:
         if mode not in (MODE_COMBINE, MODE_DUP):
             raise ValueError(f"unknown endpoint mode {mode!r}")
@@ -102,6 +148,7 @@ class CombinerEndpoint(OpenFlowSwitch):
             proc_per_byte=proc_per_byte,
             cpu=cpu,
             service_queue_capacity=service_queue_capacity,
+            transport=transport,
         )
         self.mode = mode
         self.mark_sources = mark_sources
@@ -123,6 +170,12 @@ class CombinerEndpoint(OpenFlowSwitch):
         self._compare_port_no: Optional[int] = None
         self._compare_core: Optional[CompareCore] = None
         self._mac_table: Dict[MacAddress, int] = {}
+        # Transport sessions for the three combiner directions (built on
+        # wiring; the collect session is lazy because the controller
+        # variant replaces it with a control-channel session).
+        self._fan_session_by_branch: Dict[int, Session] = {}
+        self._collect_session: Optional[Session] = None
+        self._release_session: Optional[Session] = None
         # Train fast-path caches (wiring and role assignments are static
         # once the testbed is built; invalidated on any change anyway).
         self._fan_cache: Optional[List] = None
@@ -131,6 +184,7 @@ class CombinerEndpoint(OpenFlowSwitch):
     def add_port(self, port_no: Optional[int] = None):
         self._fan_cache = None
         self._ext_cache = None
+        self._fan_session_by_branch.clear()
         return super().add_port(port_no)
 
     # ------------------------------------------------------------------
@@ -156,12 +210,24 @@ class CombinerEndpoint(OpenFlowSwitch):
         self._compare_port_no = port_no
         self._fan_cache = None
         self._ext_cache = None
+        port = self.port(port_no)
+        self._collect_session = self.transport.session(
+            SessionSpec(self.name, ROLE_COLLECT), port=port
+        )
+        release = self.transport.session(
+            SessionSpec(self.name, ROLE_RELEASE), port=port
+        )
+        release.set_receiver(lambda packet, meta: self.handle_release(packet))
+        self._release_session = release
 
     def attach_compare_controller(self, core: CompareCore) -> None:
         """Use the control channel (packet-in/packet-out) to reach the
         compare — the POX3 configuration.  The endpoint must already be
         connected to the controller hosting ``core``."""
         self._compare_core = core
+        self._collect_session = self.transport.adopt(
+            ControlChannelCollectSession(self.transport, self)
+        )
 
     @property
     def branch_ports(self) -> List[int]:
@@ -198,7 +264,9 @@ class CombinerEndpoint(OpenFlowSwitch):
                 claim=self._claim_by_port.get(in_port_no),
             )
         elif in_port_no == self._compare_port_no:
-            self.handle_release(packet)
+            # Inbound leg of the release session: meta is the DES wire
+            # format ({"claim": ...}); the receiver is handle_release.
+            self._release_session.deliver(packet, read_collect_meta(packet))
         else:
             self._from_external(packet, in_port_no)
 
@@ -274,22 +342,10 @@ class CombinerEndpoint(OpenFlowSwitch):
         """Collector role: the vote boundary — materialise and submit."""
         self.estats.submitted += 1
         self.sim.realm.note_fallback("vote-boundary")
-        if self._compare_core is not None:
-            self.stats.packet_ins += 1
-            self._send_to_controller(
-                PacketIn(
-                    datapath_id=self.datapath_id,
-                    packet=batch.packet_at(i),
-                    in_port=self._port_by_branch[branch],
-                    reason=PACKETIN_NO_MATCH,
-                )
-            )
-            return
-        if self._compare_port_no is None:
+        session = self._collect_session
+        if session is None:
             raise NetworkError(f"{self.name}: no compare attachment configured")
-        tagged = batch.packet_at(i).copy()
-        tagged.meta = {"branch": branch, "endpoint": self.name, "claim": claim}
-        self.ports[self._compare_port_no].send(tagged)
+        session.send(batch.packet_at(i), branch=branch, claim=claim)
 
     def _forward_external_batch(self, batch, i: int, now: float) -> None:
         """Egress role for one train packet (dup mode: no compare)."""
@@ -329,10 +385,16 @@ class CombinerEndpoint(OpenFlowSwitch):
             port = self.ports.get(self._port_by_branch[branch])
             if port is None or not port.is_wired:
                 continue
+            session = self._fan_session_by_branch.get(branch)
+            if session is None:
+                session = self.transport.session(
+                    SessionSpec(self.name, ROLE_FANOUT, branch), port=port
+                )
+                self._fan_session_by_branch[branch] = session
             copy = packet.copy()
             if self.mark_sources:
                 copy.eth.src = branch_marker(branch)
-            port.send(copy)
+            session.send(copy)
             self.estats.duplicated += 1
             fanout += 1
         if packet.trace_id is not None:
@@ -366,24 +428,10 @@ class CombinerEndpoint(OpenFlowSwitch):
         self, packet: Packet, branch: int, claim: Optional[int] = None
     ) -> None:
         self.estats.submitted += 1
-        if self._compare_core is not None:
-            # Control-plane transport: a real packet-in to the controller
-            # application hosting the compare (POX3).
-            self.stats.packet_ins += 1
-            self._send_to_controller(
-                PacketIn(
-                    datapath_id=self.datapath_id,
-                    packet=packet,
-                    in_port=self._port_by_branch[branch],
-                    reason=PACKETIN_NO_MATCH,
-                )
-            )
-            return
-        if self._compare_port_no is None:
+        session = self._collect_session
+        if session is None:
             raise NetworkError(f"{self.name}: no compare attachment configured")
-        tagged = packet.copy()
-        tagged.meta = {"branch": branch, "endpoint": self.name, "claim": claim}
-        self.ports[self._compare_port_no].send(tagged)
+        session.send(packet, branch=branch, claim=claim)
 
     def handle_release(self, packet: Packet) -> None:
         """Egress role: the compare released this packet; forward it on."""

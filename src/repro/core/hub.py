@@ -19,6 +19,13 @@ from typing import List, Optional
 from repro.net.node import Node, Port
 from repro.net.packet import Packet
 from repro.sim import Simulator, TraceBus
+from repro.transport import (
+    ROLE_EGRESS,
+    ROLE_FANOUT,
+    DesTransport,
+    SessionSpec,
+    Transport,
+)
 
 UPSTREAM_PORT = 1
 
@@ -31,15 +38,23 @@ class Hub(Node):
         sim: Simulator,
         name: str,
         trace_bus: Optional[TraceBus] = None,
+        transport: Optional[Transport] = None,
     ) -> None:
         self._branch_ports: Optional[List[Port]] = None
+        self._fan_sessions: Optional[List] = None
+        self._merge_session = None
         super().__init__(sim, name, trace_bus)
+        self.transport = transport or DesTransport(
+            sim, trace_bus, name=f"{name}.transport"
+        )
         self.add_port(UPSTREAM_PORT)
         self.duplicated = 0
         self.merged = 0
 
     def add_port(self, port_no: Optional[int] = None) -> Port:
         self._branch_ports = None  # topology changed; re-derive lazily
+        self._fan_sessions = None
+        self._merge_session = None
         return super().add_port(port_no)
 
     def add_branch_port(self) -> Port:
@@ -78,12 +93,26 @@ class Hub(Node):
                 upstream.send_batch_packet(batch, i, now)
                 self.merged += 1
 
+    def _sessions(self) -> List:
+        """One fanout session per branch port, in port order (cached;
+        wiring still checked per use, as :meth:`_branches` promises)."""
+        sessions = self._fan_sessions
+        if sessions is None:
+            sessions = [
+                self.transport.session(
+                    SessionSpec(self.name, ROLE_FANOUT, branch), port=port
+                )
+                for branch, port in enumerate(self._branches())
+            ]
+            self._fan_sessions = sessions
+        return sessions
+
     def receive(self, packet: Packet, in_port: Port) -> None:
         if in_port.port_no == UPSTREAM_PORT:
             fanout = 0
-            for port in self._branches():
-                if port.is_wired:
-                    port.send(packet.copy())
+            for session in self._sessions():
+                if session.port.is_wired:
+                    session.send(packet.copy())
                     self.duplicated += 1
                     fanout += 1
             if packet.trace_id is not None:
@@ -91,5 +120,12 @@ class Hub(Node):
         else:
             upstream = self.ports[UPSTREAM_PORT]
             if upstream.is_wired:
-                upstream.send(packet.copy())
+                session = self._merge_session
+                if session is None:
+                    session = self.transport.session(
+                        SessionSpec(self.name, ROLE_EGRESS, UPSTREAM_PORT),
+                        port=upstream,
+                    )
+                    self._merge_session = session
+                session.send(packet.copy())
                 self.merged += 1

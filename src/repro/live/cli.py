@@ -1,0 +1,109 @@
+"""``python -m repro live ...`` — the real-socket demo commands."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.live.demo import run_live_demo
+from repro.live.schedule import LiveFault, LiveSchedule, default_schedule
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro live",
+        description="run the NetCo combiner over localhost UDP sockets",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    demo = sub.add_parser(
+        "demo",
+        help="3 switch processes + 1 compare process under a fault "
+        "schedule, diffed against the DES twin",
+    )
+    demo.add_argument("--packets", type=int, default=300)
+    demo.add_argument("--interval", type=float, default=0.01,
+                      help="CBR inter-departure time in seconds")
+    demo.add_argument("--payload-size", type=int, default=256)
+    demo.add_argument("--crash-branch", type=int, default=1)
+    demo.add_argument("--crash-index", type=int, default=None,
+                      help="packet index of the crash (default: packets/3)")
+    demo.add_argument("--restart-index", type=int, default=None,
+                      help="packet index of the restart (default: none)")
+    demo.add_argument("--miss-threshold", type=int, default=8)
+    demo.add_argument("--probation-clean-target", type=int, default=12)
+    demo.add_argument("--live-buffer-timeout", type=float, default=0.15)
+    demo.add_argument("--des-buffer-timeout", type=float, default=2e-3)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument("--skip-des", action="store_true",
+                      help="run only the live half (no verdict diff)")
+    demo.add_argument("--json", dest="json_path", default=None,
+                      help="write the full report to this file")
+    return parser
+
+
+def _print_verdict(label: str, verdict: dict) -> None:
+    print(f"  {label}: sent={verdict['sent']} released={verdict['released']} "
+          f"fingerprint={verdict['fingerprint']}")
+    print(f"    alarms={verdict['alarms']}")
+    print(f"    transitions={verdict['transitions']} "
+          f"quarantined={verdict['quarantined']}")
+
+
+def live_main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    crash_index = args.crash_index
+    if crash_index is None:
+        schedule = default_schedule(args.packets, branch=args.crash_branch,
+                                    restart=args.restart_index is not None)
+        if args.restart_index is not None:
+            schedule = LiveSchedule(
+                name="crash_restart",
+                faults=(
+                    LiveFault(args.crash_branch, args.packets // 3,
+                              args.restart_index),
+                ),
+            )
+    else:
+        schedule = LiveSchedule(
+            name="crash_restart" if args.restart_index is not None else "crash",
+            faults=(
+                LiveFault(args.crash_branch, crash_index, args.restart_index),
+            ),
+        )
+    report = run_live_demo(
+        packets=args.packets,
+        interval=args.interval,
+        payload_size=args.payload_size,
+        schedule=schedule,
+        miss_threshold=args.miss_threshold,
+        probation_clean_target=args.probation_clean_target,
+        live_buffer_timeout=args.live_buffer_timeout,
+        des_buffer_timeout=args.des_buffer_timeout,
+        seed=args.seed,
+        skip_des=args.skip_des,
+    )
+    print(f"live demo: {report['packets']} packets, "
+          f"schedule {report['schedule']['name']} {report['schedule']['faults']}")
+    _print_verdict("udp", report["live"])
+    if report["des"] is not None:
+        _print_verdict("des", report["des"])
+        if report["match"]:
+            print("verdicts MATCH")
+        else:
+            print("verdicts DIFFER:")
+            for diff in report["diffs"]:
+                print(f"  - {diff}")
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {args.json_path}")
+    if report["des"] is None:
+        return 0
+    return 0 if report["match"] else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(live_main())

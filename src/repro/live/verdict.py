@@ -1,0 +1,88 @@
+"""Backend-comparable run verdicts.
+
+A verdict is everything about a combiner run that should *not* depend on
+which transport moved the bytes: how many datagrams were offered, which
+sequence numbers the compare released (as a fingerprint), which alarm
+kinds fired against which branches, and the ordered quarantine /
+re-admission transitions.  Timings, latencies and per-session counters
+are backend-specific and live in :attr:`Verdict.extras`, which
+:func:`verdicts_match` ignores.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List
+
+
+def fingerprint(sequences: Iterable[int]) -> str:
+    """Order-independent digest of the released sequence numbers."""
+    text = ",".join(str(s) for s in sorted(sequences))
+    return hashlib.sha256(text.encode("ascii")).hexdigest()[:16]
+
+
+@dataclass
+class Verdict:
+    """One backend's account of one run (see module docstring)."""
+
+    backend: str
+    sent: int
+    released: int
+    fingerprint: str
+    #: sorted, de-duplicated [kind, branch] pairs
+    alarms: List[List[Any]] = field(default_factory=list)
+    #: ordered [event, branch] pairs ("quarantine" / "readmit")
+    transitions: List[List[Any]] = field(default_factory=list)
+    quarantined: List[int] = field(default_factory=list)
+    #: backend-specific detail, never compared
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "sent": self.sent,
+            "released": self.released,
+            "fingerprint": self.fingerprint,
+            "alarms": self.alarms,
+            "transitions": self.transitions,
+            "quarantined": self.quarantined,
+            "extras": self.extras,
+        }
+
+    @classmethod
+    def build(
+        cls,
+        backend: str,
+        sent: int,
+        released_sequences: Iterable[int],
+        alarm_pairs: Iterable[tuple],
+        transitions: Iterable[tuple],
+        **extras: Any,
+    ) -> "Verdict":
+        released = sorted(set(released_sequences))
+        alarms = sorted({(kind, branch) for kind, branch in alarm_pairs})
+        ordered = [[event, branch] for event, branch in transitions]
+        return cls(
+            backend=backend,
+            sent=sent,
+            released=len(released),
+            fingerprint=fingerprint(released),
+            alarms=[[kind, branch] for kind, branch in alarms],
+            transitions=ordered,
+            quarantined=sorted(
+                {branch for event, branch in ordered if event == "quarantine"}
+            ),
+            extras=dict(extras),
+        )
+
+
+def verdicts_match(a: Verdict, b: Verdict) -> List[str]:
+    """Differences between two backends' verdicts ([] = they agree)."""
+    diffs: List[str] = []
+    for name in ("sent", "released", "fingerprint", "alarms", "transitions",
+                 "quarantined"):
+        va, vb = getattr(a, name), getattr(b, name)
+        if va != vb:
+            diffs.append(f"{name}: {a.backend}={va!r} vs {b.backend}={vb!r}")
+    return diffs

@@ -46,6 +46,7 @@ from repro.openflow.messages import (
     PortStatsRequest,
 )
 from repro.sim import CpuResource, Simulator, TraceBus
+from repro.transport import ROLE_EGRESS, DesTransport, SessionSpec, Transport
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.adversary.behaviors import AdversarialBehavior
@@ -103,8 +104,16 @@ class OpenFlowSwitch(Node):
         service_queue_capacity: int = 1000,
         packet_buffer_capacity: int = 256,
         datapath_id: Optional[int] = None,
+        transport: Optional[Transport] = None,
     ) -> None:
         super().__init__(sim, name, trace_bus)
+        # The byte-moving backend for this switch's egress I/O; a chain
+        # builder passes one shared transport so its tracer hooks see
+        # every element's traffic.
+        self.transport = transport or DesTransport(
+            sim, trace_bus, name=f"{name}.transport"
+        )
+        self._egress_sessions: Dict[int, object] = {}
         if datapath_id is None:
             OpenFlowSwitch._dpid_counter += 1
             datapath_id = OpenFlowSwitch._dpid_counter
@@ -396,11 +405,21 @@ class OpenFlowSwitch(Node):
         if emitted:
             self.stats.forwarded += 1
 
+    def _egress_session(self, port: Port):
+        """The egress transport session for one local port (memoised)."""
+        session = self._egress_sessions.get(port.port_no)
+        if session is None:
+            session = self.transport.session(
+                SessionSpec(self.name, ROLE_EGRESS, port.port_no), port=port
+            )
+            self._egress_sessions[port.port_no] = session
+        return session
+
     def _output(self, packet: Packet, out_port: int, in_port_no: int) -> None:
         if out_port == PORT_FLOOD:
             for port_no, port in sorted(self.ports.items()):
                 if port_no != in_port_no and port.is_wired:
-                    port.send(packet.copy())
+                    self._egress_session(port).send(packet.copy())
         elif out_port == PORT_CONTROLLER:
             self.stats.packet_ins += 1
             self._send_to_controller(
@@ -415,13 +434,13 @@ class OpenFlowSwitch(Node):
         elif out_port == PORT_IN_PORT:
             port = self.ports.get(in_port_no)
             if port is not None and port.is_wired:
-                port.send(packet.copy())
+                self._egress_session(port).send(packet.copy())
         else:
             port = self.ports.get(out_port)
             if port is None or not port.is_wired:
                 self.trace("switch.drop", reason="bad_port", port=out_port, packet=packet)
                 return
-            port.send(packet.copy())
+            self._egress_session(port).send(packet.copy())
 
     # ------------------------------------------------------------------
     # controller message handling

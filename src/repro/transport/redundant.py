@@ -1,0 +1,117 @@
+"""Redundant transport: k inferior sessions fused with deduplication.
+
+This is the NetCo combiner expressed *as a transport layer*, after
+pycyphal's ``redundant/`` transport: a :class:`RedundantSession` owns
+one inferior session per branch; ``send`` broadcasts to every inferior,
+and reception merges the k inbound streams with first-copy-wins
+deduplication (no voting — that is what :class:`~repro.core.compare
+.CompareCore` adds on top; the redundant session is the availability
+half of the argument, usable standalone when integrity is not the
+concern).
+
+Deduplication keys on the wire ``seq`` when the inferior provides one,
+falling back to the serialised wire image.  The seen-set is bounded by
+``window`` (oldest keys are forgotten), matching the compare's bounded
+buffer: a straggler arriving after its key aged out counts as fresh,
+exactly like a straggler after the vote entry expired.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence
+
+from repro.transport.base import (
+    Session,
+    SessionSpec,
+    Transport,
+    TransportError,
+)
+
+
+class RedundantSession(Session):
+    """k fused inferior sessions (one per branch), dedup on receive."""
+
+    def __init__(
+        self,
+        transport: "RedundantTransport",
+        spec: SessionSpec,
+        inferiors: Sequence[Session],
+        window: int = 4096,
+    ) -> None:
+        super().__init__(transport, spec)
+        if not inferiors:
+            raise TransportError("redundant session needs at least one inferior")
+        self.inferiors: List[Session] = list(inferiors)
+        self.window = window
+        self.deduplicated = 0
+        #: per-branch count of copies that arrived first (won the race)
+        self.firsts: Dict[int, int] = {}
+        self._seen: "OrderedDict[object, bool]" = OrderedDict()
+        for index, inferior in enumerate(self.inferiors):
+            inferior.set_receiver(self._merge_receiver(index))
+
+    # -- sending: broadcast ---------------------------------------------
+    def send(
+        self,
+        packet: object,
+        branch: Optional[int] = None,
+        claim: Optional[int] = None,
+    ) -> None:
+        self.stats.tx_messages += 1
+        if self.transport._tracers:
+            self.transport._trace(
+                "tx", self.spec, packet, {"branch": branch, "claim": claim}
+            )
+        for inferior in self.inferiors:
+            inferior.send(packet, branch=branch, claim=claim)
+
+    # -- receiving: merge + dedup ---------------------------------------
+    def _merge_receiver(self, index: int):
+        def _on_message(packet, meta: dict) -> None:
+            key = meta.get("seq")
+            if key is None:
+                key = bytes(packet.to_bytes())
+            if key in self._seen:
+                self.deduplicated += 1
+                return
+            self._seen[key] = True
+            while len(self._seen) > self.window:
+                self._seen.popitem(last=False)
+            branch = meta.get("branch")
+            if branch is None:
+                branch = index
+            self.firsts[branch] = self.firsts.get(branch, 0) + 1
+            self.deliver(packet, dict(meta, branch=branch))
+
+        return _on_message
+
+    def close(self) -> None:
+        for inferior in self.inferiors:
+            inferior.set_receiver(None)
+        super().close()
+
+
+class RedundantTransport(Transport):
+    """Fuses k inferior transports into one deduplicated stream."""
+
+    def __init__(
+        self,
+        inferiors: Sequence[Transport],
+        name: str = "redundant",
+        window: int = 4096,
+    ) -> None:
+        if not inferiors:
+            raise TransportError("redundant transport needs at least one inferior")
+        super().__init__(name)
+        self.inferiors: List[Transport] = list(inferiors)
+        self.window = window
+
+    def _make_session(self, spec: SessionSpec, **options: object) -> RedundantSession:
+        sessions = [t.session(spec, **options) for t in self.inferiors]
+        return RedundantSession(self, spec, sessions, window=self.window)
+
+    def close(self) -> None:
+        super().close()
+        for inferior in self.inferiors:
+            inferior.close()

@@ -1,0 +1,130 @@
+"""Datagram framing for transport messages over real sockets.
+
+One UDP datagram carries one message::
+
+    magic   2B  b"NC"
+    version 1B
+    mtype   1B  DATA / HELLO / BYE
+    role    1B  session role (fanout/collect/release/egress)
+    branch  2B  int16, -1 = none
+    claim   2B  int16, -1 = none
+    seq     4B  uint32 sender message counter
+    t_ns    8B  uint64 sender virtual-time nanoseconds (informational)
+    scope   1B length + utf-8 bytes
+    payload rest: the packet wire image (Ethernet frame)
+
+The payload is exactly what :meth:`repro.net.packet.Packet.to_bytes`
+produces, so a compare process votes over the same bytes the DES
+backend's bit-exact policy sees.  HELLO/BYE are session-lifecycle
+control messages (no payload): a sender announces itself and signals
+end-of-stream so the receiving process can stop without guessing.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.transport.base import (
+    ROLE_COLLECT,
+    ROLE_EGRESS,
+    ROLE_FANOUT,
+    ROLE_RELEASE,
+    TransportError,
+)
+
+MAGIC = b"NC"
+VERSION = 1
+
+MSG_DATA = 0
+MSG_HELLO = 1
+MSG_BYE = 2
+
+_ROLE_CODES = {
+    ROLE_FANOUT: 0,
+    ROLE_COLLECT: 1,
+    ROLE_RELEASE: 2,
+    ROLE_EGRESS: 3,
+}
+_CODE_ROLES = {code: role for role, code in _ROLE_CODES.items()}
+
+_FIXED = struct.Struct("!2sBBBhhIQ")
+
+
+@dataclass(frozen=True)
+class WireMessage:
+    """A decoded transport datagram."""
+
+    mtype: int
+    role: str
+    scope: str
+    branch: Optional[int]
+    claim: Optional[int]
+    seq: int
+    t_ns: int
+    payload: bytes
+
+    def meta(self) -> dict:
+        return {"branch": self.branch, "claim": self.claim, "seq": self.seq}
+
+
+def encode_message(
+    mtype: int,
+    role: str,
+    scope: str,
+    payload: bytes = b"",
+    branch: Optional[int] = None,
+    claim: Optional[int] = None,
+    seq: int = 0,
+    t_ns: int = 0,
+) -> bytes:
+    role_code = _ROLE_CODES.get(role)
+    if role_code is None:
+        raise TransportError(f"unknown role {role!r}")
+    scope_bytes = scope.encode("utf-8")
+    if len(scope_bytes) > 255:
+        raise TransportError(f"scope too long ({len(scope_bytes)} bytes)")
+    head = _FIXED.pack(
+        MAGIC,
+        VERSION,
+        mtype,
+        role_code,
+        -1 if branch is None else branch,
+        -1 if claim is None else claim,
+        seq & 0xFFFFFFFF,
+        t_ns & 0xFFFFFFFFFFFFFFFF,
+    )
+    return head + bytes((len(scope_bytes),)) + scope_bytes + payload
+
+
+def decode_message(data: bytes) -> WireMessage:
+    if len(data) < _FIXED.size + 1:
+        raise TransportError(f"datagram too short ({len(data)} bytes)")
+    magic, version, mtype, role_code, branch, claim, seq, t_ns = _FIXED.unpack_from(
+        data
+    )
+    if magic != MAGIC:
+        raise TransportError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise TransportError(f"unsupported version {version}")
+    role = _CODE_ROLES.get(role_code)
+    if role is None:
+        raise TransportError(f"unknown role code {role_code}")
+    offset = _FIXED.size
+    scope_len = data[offset]
+    offset += 1
+    if len(data) < offset + scope_len:
+        raise TransportError("truncated scope")
+    scope = data[offset:offset + scope_len].decode("utf-8")
+    offset += scope_len
+    return WireMessage(
+        mtype=mtype,
+        role=role,
+        scope=scope,
+        branch=None if branch < 0 else branch,
+        claim=None if claim < 0 else claim,
+        seq=seq,
+        t_ns=t_ns,
+        payload=data[offset:],
+    )

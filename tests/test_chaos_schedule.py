@@ -363,3 +363,85 @@ def test_chaos_run_is_bit_reproducible():
     b = json.dumps(chaos_run(schedule=schedule, seed=9, duration=0.03),
                    sort_keys=True)
     assert a == b
+
+
+class TestExplicitBranchTargets:
+    """adversary_strategy events may name the branch index explicitly —
+    needed when the switch name carries no ``r<i>`` hint."""
+
+    def gateway_net(self):
+        from repro.openflow.switch import OpenFlowSwitch
+
+        net = Network(seed=5)
+        net.add_node(OpenFlowSwitch(net.sim, "edge_gateway",
+                                    trace_bus=net.trace))
+        return net
+
+    def compare_core(self, net):
+        from repro.core import CompareConfig, CompareCore
+
+        return CompareCore(net.sim, CompareConfig(k=3))
+
+    def test_branch_field_round_trip(self):
+        schedule = FaultSchedule(
+            [AdversaryStrategy(0.001, "edge_gateway",
+                               strategy="probation_evader", branch=2)]
+        )
+        schedule.validate()
+        d = schedule.to_dict()
+        assert d["events"][0]["branch"] == 2
+        assert FaultSchedule.from_dict(d).to_dict() == d
+        # an event without the field must not serialise it
+        bare = FaultSchedule(
+            [AdversaryStrategy(0.001, "r1", strategy="sweep_timed")]
+        ).to_dict()
+        assert "branch" not in bare["events"][0]
+
+    def test_negative_branch_rejected(self):
+        with pytest.raises(ValueError, match="branch"):
+            FaultSchedule(
+                [AdversaryStrategy(0.1, "r1", branch=-1)]
+            ).validate()
+
+    def test_explicit_branch_arms_opaque_switch_name(self):
+        net = self.gateway_net()
+        engine = ChaosEngine(
+            FaultSchedule(
+                [AdversaryStrategy(0.001, "edge_gateway",
+                                   strategy="probation_evader", branch=1)]
+            ),
+            net,
+            compare_core=self.compare_core(net),
+        )
+        engine.arm()  # must not raise: the branch is explicit
+        assert "edge_gateway" in engine.strategy_behaviors
+
+    def test_unresolvable_target_errors_clearly(self):
+        net = self.gateway_net()
+        engine = ChaosEngine(
+            FaultSchedule(
+                [AdversaryStrategy(0.001, "edge_gateway",
+                                   strategy="probation_evader")]
+            ),
+            net,
+            compare_core=self.compare_core(net),
+        )
+        with pytest.raises(ValueError, match="explicit 'branch' field"):
+            engine.arm()
+
+    def test_explicit_branch_wins_over_name_hint(self):
+        # switch r0 would resolve to branch 0; the event says branch 2
+        net, *_ = two_switch_net()
+        from repro.openflow.switch import OpenFlowSwitch
+
+        net.add_node(OpenFlowSwitch(net.sim, "r0", trace_bus=net.trace))
+        engine = ChaosEngine(
+            FaultSchedule(
+                [AdversaryStrategy(0.001, "r0",
+                                   strategy="probation_evader", branch=2)]
+            ),
+            net,
+            compare_core=self.compare_core(net),
+        )
+        engine.arm()
+        assert engine.strategy_behaviors["r0"].branch == 2

@@ -5,6 +5,7 @@ import pytest
 
 from repro.core import (
     ALARM_DOS_SUSPECTED,
+    ALARM_MINORITY_DIVERGENCE,
     ALARM_ROUTER_UNAVAILABLE,
     ALARM_SINGLE_SOURCE_PACKET,
     CompareConfig,
@@ -369,3 +370,89 @@ class TestEvictionWithQuarantine:
         h.sim.run(until=0.01)
         assert h.core.stats.readmissions == 1
         assert not h.core.is_quarantined(2)
+
+
+class TestMinorityDivergence:
+    """The per-branch divergence counter: a silent colluding minority is
+    surfaced (alarm) without changing the vote."""
+
+    def test_colluding_minority_alarms_without_changing_vote(self):
+        # k=5: branches 3 and 4 deliver identical *altered* copies of
+        # every packet.  Two identical copies never trip the
+        # single-source alarm, and the honest majority still releases —
+        # but the divergence counter accumulates and latches the alarm.
+        h = Harness(k=5, divergence_threshold=4)
+        for i in range(6):
+            good, evil = pkt(ident=i, payload=b"good"), pkt(ident=i, payload=b"evil")
+            for branch in (0, 1, 2):
+                h.submit(good.copy(), branch)
+            for branch in (3, 4):
+                h.submit(evil.copy(), branch)
+        h.sim.run(until=1.0)
+        assert len(h.released) == 6  # the vote is unchanged
+        assert all(p.payload == b"good" for p in h.released)
+        diverging = sorted(
+            a.branch for a in h.core.alarms.alarms
+            if a.kind == ALARM_MINORITY_DIVERGENCE
+        )
+        assert diverging == [3, 4]
+        assert h.core.stats.divergent_copies == 12
+        assert h.core.stats.divergence_alarms == 2
+
+    def test_alarm_latches_once_per_branch(self):
+        h = Harness(k=3, divergence_threshold=2)
+        for i in range(8):
+            h.submit(pkt(ident=i, payload=b"good"), 0)
+            h.submit(pkt(ident=i, payload=b"good"), 1)
+            h.submit(pkt(ident=i, payload=b"evil"), 2)
+        h.sim.run(until=1.0)
+        alarms = [
+            a for a in h.core.alarms.alarms
+            if a.kind == ALARM_MINORITY_DIVERGENCE
+        ]
+        assert len(alarms) == 1
+        assert alarms[0].branch == 2
+        assert alarms[0].details["divergent_entries"] == 2
+
+    def test_honest_branches_never_counted(self):
+        h = Harness(k=3, divergence_threshold=1)
+        for i in range(4):
+            for branch in range(3):
+                h.submit(pkt(ident=i), branch)
+        h.sim.run(until=1.0)
+        assert h.core.stats.divergent_copies == 0
+        assert not [
+            a for a in h.core.alarms.alarms
+            if a.kind == ALARM_MINORITY_DIVERGENCE
+        ]
+
+    def test_readmission_resets_divergence_history(self):
+        h = Harness(k=3, divergence_threshold=3, probation_clean_target=2)
+        # two divergent entries for branch 2 (below the threshold)...
+        for i in range(2):
+            h.submit(pkt(ident=i, payload=b"good"), 0)
+            h.submit(pkt(ident=i, payload=b"good"), 1)
+            h.submit(pkt(ident=i, payload=b"evil"), 2)
+        h.sim.run(until=0.05)
+        assert h.core.stats.divergent_copies == 2
+        # ... then quarantine, serve probation, readmit: history resets
+        assert h.core.quarantine_branch(2, reason="operator")
+        for i in range(10, 14):
+            for branch in range(3):
+                h.submit(pkt(ident=i), branch)
+        h.sim.run(until=0.1)
+        assert not h.core.is_quarantined(2)
+        # two more divergent entries stay below the threshold again
+        for i in range(20, 22):
+            h.submit(pkt(ident=i, payload=b"good"), 0)
+            h.submit(pkt(ident=i, payload=b"good"), 1)
+            h.submit(pkt(ident=i, payload=b"evil"), 2)
+        h.sim.run(until=0.2)
+        assert not [
+            a for a in h.core.alarms.alarms
+            if a.kind == ALARM_MINORITY_DIVERGENCE
+        ]
+
+    def test_divergence_threshold_validated(self):
+        with pytest.raises(ValueError):
+            CompareConfig(divergence_threshold=0).validate()
